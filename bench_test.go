@@ -1,0 +1,278 @@
+// Package nemesis's root benchmark harness regenerates every table and
+// figure of the paper's evaluation as a testing.B benchmark. Each benchmark
+// runs the corresponding experiment on the simulated machine and reports
+// the paper's metric via b.ReportMetric:
+//
+//	BenchmarkTable1*          sim_us_per_op — Table 1 micro-benchmarks
+//	BenchmarkFig7PagingIn     mbps_* and ratio_* — Fig. 7
+//	BenchmarkFig8PagingOut    mbps_* and txn_ms — Fig. 8
+//	BenchmarkFig9Isolation    isolation — Fig. 9
+//	BenchmarkAblation*        the A1–A5 ablations from DESIGN.md
+//
+// Wall-clock ns/op measures the simulator's own cost; the scientific
+// results are the reported metrics.
+package nemesis
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nemesis/internal/experiments"
+)
+
+// table1Rows runs the micro-benchmarks once per call.
+func table1Rows(b *testing.B) map[string]experiments.Table1Row {
+	b.Helper()
+	rows, err := experiments.Table1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := make(map[string]experiments.Table1Row, len(rows))
+	for _, r := range rows {
+		m[r.Name] = r
+	}
+	return m
+}
+
+func benchTable1(b *testing.B, name string) {
+	var last experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		last = table1Rows(b)[name]
+	}
+	b.ReportMetric(last.NemesisUS, "sim_us/op")
+	if last.AltUS > 0 {
+		b.ReportMetric(last.AltUS, "sim_us_pd/op")
+	}
+	if last.OSF1US > 0 {
+		b.ReportMetric(last.OSF1US, "osf1_us/op")
+	}
+}
+
+func BenchmarkTable1Dirty(b *testing.B)   { benchTable1(b, "dirty") }
+func BenchmarkTable1Prot1(b *testing.B)   { benchTable1(b, "(un)prot1") }
+func BenchmarkTable1Prot100(b *testing.B) { benchTable1(b, "(un)prot100") }
+func BenchmarkTable1Trap(b *testing.B)    { benchTable1(b, "trap") }
+func BenchmarkTable1Appel1(b *testing.B)  { benchTable1(b, "appel1") }
+func BenchmarkTable1Appel2(b *testing.B)  { benchTable1(b, "appel2") }
+
+// benchPagingOpts is the scaled-down configuration benchmarks use: smaller
+// stretches and a shorter window keep one iteration under a second of wall
+// time while preserving every scheduling effect.
+func benchPagingOpts() experiments.PagingOptions {
+	opt := experiments.DefaultPagingOptions()
+	opt.VirtBytes = 2 << 20
+	opt.Measure = 10 * time.Second
+	opt.SampleEvery = 2 * time.Second
+	return opt
+}
+
+func BenchmarkFig7PagingIn(b *testing.B) {
+	var last *experiments.PagingResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunPaging(benchPagingOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for i, m := range last.MeanMbps {
+		b.ReportMetric(m, fmt.Sprintf("mbps_app%d", i+1))
+	}
+	for i, r := range last.Ratios() {
+		b.ReportMetric(r, fmt.Sprintf("ratio_%d", i+1))
+	}
+}
+
+func BenchmarkFig8PagingOut(b *testing.B) {
+	var last *experiments.PagingResult
+	for i := 0; i < b.N; i++ {
+		opt := benchPagingOpts()
+		opt.Write = true
+		opt.Forgetful = true
+		r, err := experiments.RunPaging(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for i, m := range last.MeanMbps {
+		b.ReportMetric(m, fmt.Sprintf("mbps_app%d", i+1))
+	}
+	var n int
+	var sum float64
+	for _, e := range last.Log.Events() {
+		if e.Kind == 0 {
+			n++
+			sum += e.End.Sub(e.Start).Seconds()
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(sum/float64(n)*1e3, "txn_ms")
+	}
+}
+
+func BenchmarkFig9Isolation(b *testing.B) {
+	var last *experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		opt := experiments.DefaultFig9Options()
+		opt.Measure = 15 * time.Second
+		r, err := experiments.RunFig9(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.AloneMbps, "mbps_alone")
+	b.ReportMetric(last.ContendedMbps, "mbps_contended")
+	b.ReportMetric(last.Isolation(), "isolation")
+}
+
+func BenchmarkAblationLaxity(b *testing.B) {
+	var last *experiments.LaxityResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationLaxity(8 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.WithLaxityMbps[2], "mbps_with_laxity")
+	b.ReportMetric(last.WithoutLaxityMbps[2], "mbps_without")
+	b.ReportMetric(last.TxnsPerPeriodWithout[2], "txns_per_period_without")
+}
+
+func BenchmarkAblationFCFS(b *testing.B) {
+	var last *experiments.FCFSResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationFCFS(8 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.AtroposMbps[2]/last.AtroposMbps[0], "atropos_spread")
+	b.ReportMetric(last.FCFSMbps[2]/last.FCFSMbps[0], "fcfs_spread")
+}
+
+func BenchmarkAblationCrosstalk(b *testing.B) {
+	var last *experiments.CrosstalkResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationCrosstalk(8 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.SelfIsolation(), "self_isolation")
+	b.ReportMetric(last.ExtIsolation(), "extpager_isolation")
+}
+
+func BenchmarkAblationSlack(b *testing.B) {
+	var last *experiments.SlackResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationSlack(8 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.XTrueMbps, "mbps_xtrue")
+	b.ReportMetric(last.XFalseMbps, "mbps_xfalse")
+}
+
+func BenchmarkAblationRevocation(b *testing.B) {
+	var last *experiments.RevocationResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationRevocation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.TransparentMs, "transparent_ms")
+	b.ReportMetric(last.IntrusiveMs, "intrusive_ms")
+}
+
+func BenchmarkExtensionPipelineDepth(b *testing.B) {
+	var last *experiments.DepthResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionPipelineDepth([]int{1, 8}, 8*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Mbps[0], "mbps_depth1")
+	b.ReportMetric(last.Mbps[1], "mbps_depth8")
+}
+
+func BenchmarkExtensionSecondChance(b *testing.B) {
+	var last *experiments.EvictionResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionSecondChance(8 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.FIFOPageInsPerMB, "fifo_ins_per_mb")
+	b.ReportMetric(last.SecondChancePageInsPerMB, "sc_ins_per_mb")
+}
+
+func BenchmarkExtensionGuardedPT(b *testing.B) {
+	var last *experiments.GPTResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionGuardedPT()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.LinearUS, "linear_us")
+	b.ReportMetric(last.GuardedUS, "guarded_us")
+	b.ReportMetric(last.Slowdown(), "slowdown")
+}
+
+func BenchmarkExtensionStreamPaging(b *testing.B) {
+	var last *experiments.StreamPagingResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionStreamPaging(8 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.DemandMbps, "mbps_demand")
+	b.ReportMetric(last.StreamingMbps, "mbps_streaming")
+	b.ReportMetric(last.Speedup(), "speedup")
+}
+
+func BenchmarkExtensionRebalance(b *testing.B) {
+	var last *experiments.RebalanceResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionRebalance(10 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.WithoutMbps, "mbps_without")
+	b.ReportMetric(last.WithMbps, "mbps_with")
+	b.ReportMetric(float64(last.Moves), "moves")
+}
+
+func BenchmarkMotivationMJPEG(b *testing.B) {
+	var last *experiments.MotivationResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.MotivationMJPEG(10 * time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(100*last.QoSMissRate, "qos_miss_pct")
+	b.ReportMetric(100*last.FCFSMissRate, "fcfs_miss_pct")
+	b.ReportMetric(last.QoSJitterMs, "qos_jitter_ms")
+	b.ReportMetric(last.FCFSJitterMs, "fcfs_jitter_ms")
+}

@@ -1,0 +1,30 @@
+// Command nemesis-micro regenerates Table 1 of the paper: the comparative
+// VM micro-benchmarks (dirty, (un)prot1, (un)prot100, trap, appel1, appel2)
+// on the simulated Nemesis paths, next to the OSF1 V4.0 cost model and the
+// paper's published values.
+//
+// Usage:
+//
+//	nemesis-micro
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nemesis/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	rows, err := experiments.Table1()
+	if err != nil {
+		log.Fatalf("nemesis-micro: %v", err)
+	}
+	fmt.Println("Table 1: comparative micro-benchmarks (microseconds)")
+	fmt.Println()
+	fmt.Print(experiments.FormatTable1(rows))
+	fmt.Println()
+	fmt.Println("[pd] = protection-domain variant, shown in square brackets in the paper.")
+	fmt.Println("OSF1 column is the calibrated monolithic-kernel cost model (see DESIGN.md).")
+}

@@ -1,0 +1,199 @@
+// Command nemesis-paging regenerates the paper's paging experiments:
+//
+//	-fig 7   paging in  (three domains, 10/20/40% disk guarantees)
+//	-fig 8   paging out (the "forgetful" stretch driver)
+//	-fig 9   file-system isolation (50% FS client vs two pagers)
+//	-fig 0   run every ablation (laxity, FCFS, crosstalk, slack, revocation)
+//	-ext     run the extensions (pipeline depth, second chance, guarded
+//	         page table, stream paging)
+//
+// The top halves of Figs. 7/8 (sustained bandwidth series) print as TSV;
+// summary ratios follow. Use nemesis-trace for the bottom halves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"nemesis/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	fig := flag.Int("fig", 7, "figure to regenerate: 7, 8, 9, or 0 for ablations")
+	ext := flag.Bool("ext", false, "run the extension experiments instead")
+	measure := flag.Duration("measure", 40*time.Second, "measured window of simulated time")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if *ext {
+		runExtensions(*measure)
+		return
+	}
+
+	switch *fig {
+	case 7, 8:
+		opt := experiments.DefaultPagingOptions()
+		opt.Measure = *measure
+		opt.Seed = *seed
+		if *fig == 8 {
+			opt.Write = true
+			opt.Forgetful = true
+		}
+		r, err := experiments.RunPaging(opt)
+		if err != nil {
+			log.Fatalf("nemesis-paging: %v", err)
+		}
+		fmt.Printf("# Figure %d: sustained bandwidth (Mbit/s), sampled every %v\n", *fig, opt.SampleEvery)
+		if err := r.Set.WriteTSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n# mean Mbit/s over measured window: ")
+		for i, m := range r.MeanMbps {
+			if i > 0 {
+				fmt.Printf(" : ")
+			}
+			fmt.Printf("%.2f", m)
+		}
+		fmt.Printf("\n# consecutive ratios (want ~2.0 each for 10/20/40%% contracts): %v\n", fmtRatios(r.Ratios()))
+		fmt.Printf("# max single lax charge per client (s) — must stay <= 0.010:\n")
+		for _, e := range sortedEntries(r.Log.MaxLax()) {
+			fmt.Printf("#   %s\t%.4f\n", e.k, e.v)
+		}
+
+	case 9:
+		opt := experiments.DefaultFig9Options()
+		opt.Measure = *measure
+		opt.Seed = *seed
+		r, err := experiments.RunFig9(opt)
+		if err != nil {
+			log.Fatalf("nemesis-paging: %v", err)
+		}
+		fmt.Println("# Figure 9: file-system client isolation")
+		fmt.Printf("fs alone:\t%.2f Mbit/s\n", r.AloneMbps)
+		fmt.Printf("fs + 2 pagers:\t%.2f Mbit/s\n", r.ContendedMbps)
+		fmt.Printf("isolation:\t%.3f (1.0 = perfect)\n", r.Isolation())
+
+	case 0:
+		runAblations(*measure)
+
+	default:
+		log.Fatalf("nemesis-paging: unknown figure %d", *fig)
+	}
+}
+
+func runAblations(measure time.Duration) {
+	if measure > 15*time.Second {
+		measure = 15 * time.Second // ablations need no more
+	}
+	lx, err := experiments.AblationLaxity(measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("A1 laxity:      with=%v  without=%v  txns/period without=%v\n",
+		fmtF(lx.WithLaxityMbps), fmtF(lx.WithoutLaxityMbps), fmtF(lx.TxnsPerPeriodWithout))
+	fc, err := experiments.AblationFCFS(measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("A2 fcfs disk:   atropos=%v  fcfs=%v\n", fmtF(fc.AtroposMbps), fmtF(fc.FCFSMbps))
+	ct, err := experiments.AblationCrosstalk(measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("A3 crosstalk:   self-paging %.2f->%.2f Mbit/s (iso %.2f)  external pager %.2f->%.2f (iso %.2f)\n",
+		ct.SelfAloneMbps, ct.SelfContendedMbps, ct.SelfIsolation(),
+		ct.ExtAloneMbps, ct.ExtContendedMbps, ct.ExtIsolation())
+	sl, err := experiments.AblationSlack(measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("A4 slack flag:  x=true %.2f Mbit/s  x=false %.2f Mbit/s\n", sl.XTrueMbps, sl.XFalseMbps)
+	rv, err := experiments.AblationRevocation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("A5 revocation:  transparent %.3f ms  intrusive %.3f ms\n", rv.TransparentMs, rv.IntrusiveMs)
+}
+
+func runExtensions(measure time.Duration) {
+	if measure > 15*time.Second {
+		measure = 15 * time.Second
+	}
+	pd, err := experiments.ExtensionPipelineDepth([]int{1, 2, 4, 8, 16}, measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("E1 pipeline depth: %v -> %v Mbit/s\n", pd.Depths, fmtF(pd.Mbps))
+	ev, err := experiments.ExtensionSecondChance(measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("E2 eviction:       fifo %.1f ins/MB (%.1f Mbit/s)  second-chance %.1f ins/MB (%.1f Mbit/s)\n",
+		ev.FIFOPageInsPerMB, ev.FIFOMbps, ev.SecondChancePageInsPerMB, ev.SecondChanceMbps)
+	gpt, err := experiments.ExtensionGuardedPT()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("E3 guarded PT:     linear %.2fus  guarded %.2fus  (%.1fx slower; paper: ~3x)\n",
+		gpt.LinearUS, gpt.GuardedUS, gpt.Slowdown())
+	sp, err := experiments.ExtensionStreamPaging(measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("E4 stream paging:  demand %.2f Mbit/s  streaming %.2f Mbit/s  (%.2fx; prefetch accuracy %d/%d)\n",
+		sp.DemandMbps, sp.StreamingMbps, sp.Speedup(), sp.PrefetchedUsed, sp.Prefetches)
+	rb, err := experiments.ExtensionRebalance(measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("E5 rebalancer:     worker %.2f -> %.2f Mbit/s (%.1fx; frames %d -> %d, %d moves)\n",
+		rb.WithoutMbps, rb.WithMbps, rb.Speedup(), rb.WorkerFramesWithout, rb.WorkerFramesWith, rb.Moves)
+	mj, err := experiments.MotivationMJPEG(measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("E6 mjpeg player:   QoS miss %.1f%% jitter %.2fms   conventional miss %.1f%% jitter %.2fms\n",
+		100*mj.QoSMissRate, mj.QoSJitterMs, 100*mj.FCFSMissRate, mj.FCFSJitterMs)
+}
+
+func fmtRatios(rs []float64) string {
+	s := ""
+	for i, r := range rs {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%.2f", r)
+	}
+	return s
+}
+
+func fmtF(fs []float64) string {
+	s := "["
+	for i, f := range fs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.2f", f)
+	}
+	return s + "]"
+}
+
+type kv struct {
+	k string
+	v float64
+}
+
+// sortedEntries returns map entries in key order for deterministic output.
+func sortedEntries(m map[string]float64) []kv {
+	var kvs []kv
+	for k, v := range m {
+		kvs = append(kvs, kv{k, v})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	return kvs
+}

@@ -1,0 +1,33 @@
+// Media player: the paper's motivating example (§5) as a runnable demo.
+// "An application which plays a motion-JPEG video from disk should not be
+// adversely affected by a compilation started in the background."
+//
+// A 25 fps player streams 64 KB frames from its own disk partition and
+// decodes each in 8 ms; a compilation workload pages and streams source
+// code as hard as it can. The scenario runs twice: once with Nemesis-style
+// contracts for the player (CPU slice, disk slice with laxity), once on a
+// conventional configuration (FCFS disk, free-for-all CPU).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nemesis/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("playing 20 simulated seconds of 25fps video against a background compile...")
+	r, err := experiments.MotivationMJPEG(20 * time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-28s %12s %12s\n", "", "missed", "jitter")
+	fmt.Printf("%-28s %11.1f%% %10.2fms\n", "with QoS contracts", 100*r.QoSMissRate, r.QoSJitterMs)
+	fmt.Printf("%-28s %11.1f%% %10.2fms\n", "conventional (FCFS disk)", 100*r.FCFSMissRate, r.FCFSJitterMs)
+	fmt.Printf("\n%d frame slots per run. With self-paging and per-domain contracts the\n", r.Frames)
+	fmt.Println("player's deadlines hold; without them the compile's disk traffic tears")
+	fmt.Println("the video apart — the QoS crosstalk the paper's design eliminates.")
+}

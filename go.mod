@@ -1,0 +1,3 @@
+module nemesis
+
+go 1.22

@@ -1,0 +1,352 @@
+// Package atropos implements the accounting core of the Atropos scheduling
+// algorithm used throughout Nemesis (the paper applies it both to CPU time
+// and — in the USD — to disk time). It is an earliest-deadline-first
+// algorithm with implicit deadlines: each client holds a QoS tuple
+// (p, s, x, l) and is periodically allocated s time units with a deadline of
+// period-start + p. Time actually consumed (including "lax" time — see
+// below) is charged against the allocation; a client whose remaining time is
+// exhausted waits for its next periodic allocation.
+//
+// Two refinements from the paper:
+//
+//   - Laxity (l): a client with no pending work may remain on the runnable
+//     queue for up to l of continuous idleness, charged as if it were
+//     working. This fixes the "short-block" problem for clients — like
+//     pagers — that cannot pipeline requests.
+//
+//   - Roll-over accounting: a client is allowed to finish a transaction it
+//     started with a reasonable amount of time remaining; if the transaction
+//     overruns, the negative balance counts against the next allocation, so
+//     a client cannot deterministically exceed its guarantee.
+//
+// The package is pure accounting: it never blocks and never reads a clock.
+// Drivers (internal/usd, internal/cpu) own the event loop and tell the core
+// what happened and when.
+package atropos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nemesis/internal/sim"
+)
+
+// Errors returned by Core.
+var (
+	ErrOvercommitted = errors.New("atropos: admission would exceed capacity")
+	ErrBadQoS        = errors.New("atropos: invalid QoS parameters")
+	ErrDuplicate     = errors.New("atropos: client name already registered")
+	ErrUnknown       = errors.New("atropos: unknown client")
+)
+
+// State is a client's scheduling state.
+type State uint8
+
+const (
+	// Runnable clients compete for service under EDF.
+	Runnable State = iota
+	// Waiting clients have exhausted their slice and await their next
+	// periodic allocation.
+	Waiting
+	// Idle clients exhausted their laxity with no work pending; they are
+	// ignored until their next periodic allocation (paper §6.7).
+	Idle
+)
+
+func (s State) String() string {
+	switch s {
+	case Runnable:
+		return "runnable"
+	case Waiting:
+		return "waiting"
+	case Idle:
+		return "idle"
+	default:
+		return fmt.Sprintf("state(%d)", s)
+	}
+}
+
+// QoS is the (p, s, x, l) tuple from the paper: the client may perform
+// transactions totalling at most S within every P, X marks eligibility for
+// slack time, and L is the laxity value.
+type QoS struct {
+	P time.Duration // period
+	S time.Duration // slice
+	X bool          // eligible for slack time
+	L time.Duration // laxity
+}
+
+// Share returns S/P as a fraction of the resource.
+func (q QoS) Share() float64 { return float64(q.S) / float64(q.P) }
+
+func (q QoS) validate() error {
+	if q.P <= 0 || q.S <= 0 || q.S > q.P || q.L < 0 {
+		return fmt.Errorf("%w: p=%v s=%v l=%v", ErrBadQoS, q.P, q.S, q.L)
+	}
+	return nil
+}
+
+// Client is one contracted consumer of the resource.
+type Client struct {
+	name string
+	qos  QoS
+
+	state       State
+	remain      time.Duration // time left in the current period; may go negative
+	deadline    sim.Time      // end of current period == next allocation instant
+	periodStart sim.Time
+	laxSpan     time.Duration // continuous workless time charged so far
+	allocations int64         // periodic allocations granted
+	charged     time.Duration // total time charged (work + lax)
+	laxCharged  time.Duration // total lax time charged
+}
+
+// Name returns the client's registration name.
+func (c *Client) Name() string { return c.name }
+
+// QoS returns the client's contract.
+func (c *Client) QoS() QoS { return c.qos }
+
+// State returns the scheduling state.
+func (c *Client) State() State { return c.state }
+
+// Remain returns the unconsumed allocation for the current period.
+func (c *Client) Remain() time.Duration { return c.remain }
+
+// Deadline returns the end of the client's current period.
+func (c *Client) Deadline() sim.Time { return c.deadline }
+
+// LaxBudget returns how much longer the client may stay runnable without
+// pending work before being marked idle.
+func (c *Client) LaxBudget() time.Duration {
+	if b := c.qos.L - c.laxSpan; b > 0 {
+		return b
+	}
+	return 0
+}
+
+// Allocations returns the number of periodic allocations granted so far.
+func (c *Client) Allocations() int64 { return c.allocations }
+
+// Charged returns total time charged to the client (work plus lax).
+func (c *Client) Charged() time.Duration { return c.charged }
+
+// LaxCharged returns total lax time charged to the client.
+func (c *Client) LaxCharged() time.Duration { return c.laxCharged }
+
+// Core tracks a set of clients sharing one resource.
+type Core struct {
+	clients  []*Client
+	capacity float64 // admissible sum of S/P, normally 1.0
+	slackIdx int     // round-robin cursor for slack distribution
+	// MinRemain is the "reasonable amount of time remaining" threshold of
+	// the roll-over scheme: a client may start a transaction while
+	// remain > MinRemain, even if the transaction may overrun. Zero means
+	// any positive remainder suffices (pure roll-over as described in the
+	// paper's experiments).
+	MinRemain time.Duration
+}
+
+// NewCore returns a Core admitting contracts totalling at most capacity
+// (1.0 = the whole resource).
+func NewCore(capacity float64) *Core {
+	if capacity <= 0 {
+		capacity = 1.0
+	}
+	return &Core{capacity: capacity}
+}
+
+// Contracted returns the sum of admitted shares.
+func (co *Core) Contracted() float64 {
+	total := 0.0
+	for _, c := range co.clients {
+		total += c.qos.Share()
+	}
+	return total
+}
+
+// Clients returns the registered clients in admission order.
+func (co *Core) Clients() []*Client { return co.clients }
+
+// Lookup returns the client with the given name, or nil.
+func (co *Core) Lookup(name string) *Client {
+	for _, c := range co.clients {
+		if c.name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Admit registers a client with the given contract, starting its first
+// period at now. Admission fails if the aggregate share would exceed
+// capacity (the same admission test the frames allocator applies to
+// guaranteed frames).
+func (co *Core) Admit(name string, q QoS, now sim.Time) (*Client, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	if co.Lookup(name) != nil {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	if co.Contracted()+q.Share() > co.capacity+1e-9 {
+		return nil, fmt.Errorf("%w: %.3f + %.3f > %.3f", ErrOvercommitted, co.Contracted(), q.Share(), co.capacity)
+	}
+	c := &Client{
+		name:        name,
+		qos:         q,
+		state:       Runnable,
+		remain:      q.S,
+		periodStart: now,
+		deadline:    now.Add(q.P),
+		allocations: 1,
+	}
+	co.clients = append(co.clients, c)
+	return c, nil
+}
+
+// Remove deregisters a client.
+func (co *Core) Remove(name string) error {
+	for i, c := range co.clients {
+		if c.name == name {
+			co.clients = append(co.clients[:i], co.clients[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrUnknown, name)
+}
+
+// Refresh grants periodic allocations to every client whose deadline has
+// arrived, returning the clients that received one (in admission order).
+// Unused positive balance does not accumulate; negative balance (roll-over)
+// counts against the new slice.
+func (co *Core) Refresh(now sim.Time) []*Client {
+	var granted []*Client
+	for _, c := range co.clients {
+		if c.deadline > now {
+			continue
+		}
+		// Catch up period boundaries without stacking slices.
+		for c.deadline <= now {
+			c.periodStart = c.deadline
+			c.deadline = c.deadline.Add(c.qos.P)
+		}
+		carry := time.Duration(0)
+		if c.remain < 0 {
+			carry = c.remain
+		}
+		c.remain = c.qos.S + carry
+		c.laxSpan = 0
+		c.allocations++
+		if c.state == Waiting || c.state == Idle {
+			c.state = Runnable
+		}
+		granted = append(granted, c)
+	}
+	return granted
+}
+
+// runnable reports whether c may be given service now.
+func (co *Core) runnable(c *Client) bool {
+	return c.state == Runnable && c.remain > co.MinRemain
+}
+
+// PickEDF returns the runnable client with the earliest deadline, or nil.
+// Ties break by admission order, which is deterministic.
+func (co *Core) PickEDF() *Client {
+	var best *Client
+	for _, c := range co.clients {
+		if !co.runnable(c) {
+			continue
+		}
+		if best == nil || c.deadline < best.deadline {
+			best = c
+		}
+	}
+	return best
+}
+
+// PickEDFWith returns the earliest-deadline runnable client satisfying pred.
+func (co *Core) PickEDFWith(pred func(*Client) bool) *Client {
+	var best *Client
+	for _, c := range co.clients {
+		if !co.runnable(c) || !pred(c) {
+			continue
+		}
+		if best == nil || c.deadline < best.deadline {
+			best = c
+		}
+	}
+	return best
+}
+
+// PickSlack returns the next slack-eligible (x=true) client satisfying pred,
+// distributing slack round-robin regardless of remaining allocation. Clients
+// in any state may receive slack except those the driver filters out.
+func (co *Core) PickSlack(pred func(*Client) bool) *Client {
+	n := len(co.clients)
+	for i := 0; i < n; i++ {
+		c := co.clients[(co.slackIdx+i)%n]
+		if c.qos.X && pred(c) {
+			co.slackIdx = (co.slackIdx + i + 1) % n
+			return c
+		}
+	}
+	return nil
+}
+
+// Charge debits d of real service time from c. If the balance reaches zero
+// or below (a roll-over overrun), the client waits for its next allocation.
+func (co *Core) Charge(c *Client, d time.Duration) {
+	c.remain -= d
+	c.charged += d
+	c.laxSpan = 0
+	if c.remain <= 0 {
+		c.state = Waiting
+	}
+}
+
+// ChargeLax debits d of lax (workless runnable) time from c. Exhausting the
+// slice sends the client to Waiting; exhausting the laxity with slice
+// remaining parks it Idle until the next allocation.
+func (co *Core) ChargeLax(c *Client, d time.Duration) {
+	c.remain -= d
+	c.charged += d
+	c.laxCharged += d
+	c.laxSpan += d
+	switch {
+	case c.remain <= 0:
+		c.state = Waiting
+	case c.laxSpan >= c.qos.L:
+		c.state = Idle
+	}
+}
+
+// NoteWork resets c's continuous lax span: pending work has arrived. An Idle
+// client stays idle (the paper ignores it until its next allocation).
+func (co *Core) NoteWork(c *Client) { c.laxSpan = 0 }
+
+// Idle parks a runnable client until its next allocation without charging
+// it — the behaviour of the early USD scheduler the paper describes, used
+// when the laxity mechanism is disabled.
+func (co *Core) Idle(c *Client) {
+	if c.state == Runnable {
+		c.state = Idle
+	}
+}
+
+// NextBoundary returns the earliest deadline over all clients — the next
+// instant at which Refresh will grant an allocation — or ok=false if there
+// are no clients.
+func (co *Core) NextBoundary() (sim.Time, bool) {
+	var best sim.Time
+	found := false
+	for _, c := range co.clients {
+		if !found || c.deadline < best {
+			best = c.deadline
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,44 @@
+package atropos
+
+import (
+	"testing"
+	"time"
+
+	"nemesis/internal/sim"
+)
+
+func benchCore(b *testing.B, clients int) *Core {
+	b.Helper()
+	co := NewCore(1.0)
+	slice := time.Duration(int64(200*time.Millisecond) / int64(clients))
+	for i := 0; i < clients; i++ {
+		name := "c" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if _, err := co.Admit(name, QoS{P: 250 * time.Millisecond, S: slice, L: 10 * time.Millisecond}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return co
+}
+
+func BenchmarkPickEDF16(b *testing.B) {
+	co := benchCore(b, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if co.PickEDF() == nil {
+			b.Fatal("no pick")
+		}
+	}
+}
+
+func BenchmarkChargeRefresh(b *testing.B) {
+	co := benchCore(b, 8)
+	c := co.Clients()[0]
+	now := sim.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		co.Charge(c, 30*time.Millisecond)
+		now = now.Add(250 * time.Millisecond)
+		co.Refresh(now)
+	}
+}

@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"nemesis/internal/atropos"
+	"nemesis/internal/core"
+	"nemesis/internal/domain"
+	"nemesis/internal/mem"
+	"nemesis/internal/sim"
+	"nemesis/internal/vm"
+)
+
+func TestOSF1CostsMatchPaper(t *testing.T) {
+	c := DefaultOSF1Costs()
+	us := func(d time.Duration) float64 { return d.Seconds() * 1e6 }
+	if got := us(c.Prot(1)); got < 3.30 || got > 3.42 {
+		t.Errorf("prot1 = %.2f, want ~3.36", got)
+	}
+	if got := us(c.Prot(100)); got < 5.08 || got > 5.20 {
+		t.Errorf("prot100 = %.2f, want ~5.14", got)
+	}
+	if got := us(c.Trap()); got != 10.33 {
+		t.Errorf("trap = %.2f, want 10.33", got)
+	}
+	if got := us(c.Appel1()); got < 23 || got > 25 {
+		t.Errorf("appel1 = %.2f, want ~24.08", got)
+	}
+	if got := us(c.Appel2()); got < 16 || got > 20 {
+		t.Errorf("appel2 = %.2f, want ~19.12", got)
+	}
+	// "the cost increases to ~75us" with alternate protections.
+	if got := us(c.ProtAlternate(100)); got < 70 || got > 80 {
+		t.Errorf("alternate prot100 = %.2f, want ~75", got)
+	}
+	// Range path scales gently; alternate path scales steeply.
+	if c.Prot(100)-c.Prot(1) > time.Duration(2)*time.Microsecond {
+		t.Error("range path not optimised")
+	}
+	if c.ProtAlternate(100) < 10*c.Prot(100) {
+		t.Error("alternate semantics should be an order of magnitude worse")
+	}
+}
+
+func newExtSys(t *testing.T) (*core.System, *ExternalPager) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.MemoryFrames = 256
+	sys := core.New(cfg)
+	ep, err := NewExternalPager(sys, 8, 16<<20,
+		atropos.QoS{P: 250 * time.Millisecond, S: 125 * time.Millisecond, L: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, ep
+}
+
+func TestExternalPagerServesClients(t *testing.T) {
+	sys, ep := newExtSys(t)
+	client, err := sys.NewDomain("client",
+		atropos.QoS{P: 100 * time.Millisecond, S: 20 * time.Millisecond, X: true},
+		mem.Contract{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ep.NewClientStretch(client, 16*vm.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verified := false
+	client.Go("main", func(th *domain.Thread) {
+		data := make([]byte, vm.PageSize)
+		for pg := 0; pg < 16; pg++ {
+			for i := range data {
+				data[i] = byte(pg + i)
+			}
+			if err := th.WriteAt(st.PageBase(pg), data); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		for pg := 0; pg < 16; pg++ {
+			if err := th.ReadAt(st.PageBase(pg), data); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range data {
+				if data[i] != byte(pg+i) {
+					t.Errorf("page %d corrupted", pg)
+					return
+				}
+			}
+		}
+		verified = true
+	})
+	sys.Run(30 * time.Second)
+	if !verified {
+		t.Fatal("client did not verify")
+	}
+	// 16 pages through an 8-frame pool: evictions and page-ins happened.
+	if ep.Evictions == 0 || ep.PageIns == 0 || ep.PageOuts == 0 {
+		t.Fatalf("pager stats: %s", ep.String())
+	}
+	if ep.Faults < 16 {
+		t.Fatalf("faults = %d", ep.Faults)
+	}
+	sys.Shutdown()
+}
+
+func TestExternalPagerSharedPoolCrosstalk(t *testing.T) {
+	// Two clients; the second floods the pool; the first's pages get
+	// evicted by the global FIFO even though it did nothing wrong.
+	sys, ep := newExtSys(t)
+	mk := func(name string) (*domain.Domain, *vm.Stretch) {
+		d, err := sys.NewDomain(name,
+			atropos.QoS{P: 100 * time.Millisecond, S: 20 * time.Millisecond, X: true},
+			mem.Contract{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := ep.NewClientStretch(d, 16*vm.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, st
+	}
+	victim, vst := mk("victim")
+	aggressor, ast := mk("aggressor")
+
+	victim.Go("main", func(th *domain.Thread) {
+		// Touch 4 pages once, then wait.
+		th.Touch(vst.Base(), 4*vm.PageSize, vm.AccessWrite)
+		th.Sleep(20 * time.Second)
+	})
+	aggressor.Go("main", func(th *domain.Thread) {
+		th.Sleep(2 * time.Second) // let the victim settle first
+		for {
+			if err := th.Touch(ast.Base(), 16*vm.PageSize, vm.AccessWrite); err != nil {
+				return
+			}
+		}
+	})
+	sys.Run(15 * time.Second)
+	// The victim's pages were evicted by the aggressor's flood: its VAs
+	// are no longer mapped.
+	stillMapped := 0
+	for pg := 0; pg < 4; pg++ {
+		if _, _, err := sys.TS.Trans(vst.PageBase(pg)); err == nil {
+			stillMapped++
+		}
+	}
+	if stillMapped > 0 {
+		t.Fatalf("%d victim pages survived the shared-pool flood; expected global FIFO to evict them all", stillMapped)
+	}
+	sys.Shutdown()
+}
+
+func TestExternalPagerStubRejectsNonPageFaults(t *testing.T) {
+	sys, ep := newExtSys(t)
+	client, _ := sys.NewDomain("c",
+		atropos.QoS{P: 100 * time.Millisecond, S: 20 * time.Millisecond, X: true},
+		mem.Contract{})
+	st, _ := ep.NewClientStretch(client, vm.PageSize)
+	drv := client.DriverFor(st.ID())
+	var res domain.Result
+	sys.Sim.Spawn("probe", func(p *sim.Proc) {
+		res = drv.SatisfyFault(p, &vm.Fault{VA: st.Base(), Class: vm.ProtectionFault, SID: st.ID()}, true)
+	})
+	sys.Run(time.Second)
+	if res != domain.Failure {
+		t.Fatalf("result = %v, want failure", res)
+	}
+	if drv.Relinquish(nil, 3) != 0 {
+		t.Fatal("stub relinquished frames it does not own")
+	}
+	if drv.DriverName() == "" {
+		t.Fatal("empty driver name")
+	}
+	sys.Shutdown()
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"time"
+
+	"nemesis/internal/domain"
+	"nemesis/internal/mem"
+	"nemesis/internal/sim"
+)
+
+// Rebalancer is a centralised answer to the paper's closing problem: "the
+// strategy of allocating resources directly to applications certainly gives
+// them more control, but means that optimisations for global benefit are
+// not directly enforced". It watches per-domain fault rates and, when one
+// domain thrashes while another sits on idle optimistic frames, directs a
+// revocation round at the idle holder so the allocator's normal protocol
+// (transparent, else intrusive with deadline) moves memory to where it
+// earns its keep. Guaranteed frames are never touched, so no contract is
+// violated — the rebalancer only re-targets the *optimistic* pool.
+type Rebalancer struct {
+	sys *System
+
+	// Interval is how often the policy runs.
+	Interval time.Duration
+	// FaultRateThreshold (faults/second) above which a domain counts as
+	// thrashing, and at or below which it counts as a donation candidate.
+	FaultRateThreshold float64
+	// Batch is how many frames to move per round.
+	Batch int
+
+	// Moves counts revocation rounds directed.
+	Moves int64
+
+	lastFaults map[mem.DomainID]int64
+	stopped    bool
+}
+
+// StartRebalancer launches the policy as a system-domain process.
+func (sys *System) StartRebalancer(interval time.Duration) *Rebalancer {
+	r := &Rebalancer{
+		sys:                sys,
+		Interval:           interval,
+		FaultRateThreshold: 20,
+		Batch:              4,
+		lastFaults:         make(map[mem.DomainID]int64),
+	}
+	sys.Sim.Spawn("rebalancer", r.run)
+	return r
+}
+
+// Stop halts the policy at its next tick.
+func (r *Rebalancer) Stop() { r.stopped = true }
+
+func (r *Rebalancer) run(p *sim.Proc) {
+	for !r.stopped {
+		p.Sleep(r.Interval)
+		r.tick()
+	}
+}
+
+// tick runs one round of the policy.
+func (r *Rebalancer) tick() {
+	if r.sys.Frames.FreeFrames() > 0 {
+		return // no memory pressure: nothing to do
+	}
+	var starved *domain.Domain
+	var donor *domain.Domain
+	var starvedRate float64
+	for _, d := range r.sys.Domains() {
+		if d.Killed() {
+			continue
+		}
+		faults := d.Stats().PageFaults
+		rate := float64(faults-r.lastFaults[d.ID()]) / r.Interval.Seconds()
+		r.lastFaults[d.ID()] = faults
+		mc := d.MemClient()
+		ct := mc.Contract()
+		switch {
+		case rate > r.FaultRateThreshold && mc.Allocated() < ct.Guaranteed+ct.Optimistic:
+			// Thrashing with unexercised optimistic quota.
+			if starved == nil || rate > starvedRate {
+				starved, starvedRate = d, rate
+			}
+		case rate <= r.FaultRateThreshold && mc.HoldsOptimistic():
+			if donor == nil {
+				donor = d
+			}
+		}
+	}
+	if starved == nil || donor == nil || starved == donor {
+		return
+	}
+	if err := r.sys.Frames.RequestRevocation(donor.ID(), r.Batch); err == nil {
+		r.Moves++
+	}
+}

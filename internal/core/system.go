@@ -1,0 +1,295 @@
+// Package core is the public facade of the Nemesis self-paging
+// reproduction: it wires the simulator, physical and virtual memory, the
+// translation system, the CPU scheduler, the disk, the USD and the SFS into
+// one System, and provides the high-level operations a downstream user
+// needs — create domains with QoS contracts, create stretches backed by
+// nailed/physical/paged stretch drivers, and run the simulation.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nemesis/internal/atropos"
+	"nemesis/internal/cpu"
+	"nemesis/internal/disk"
+	"nemesis/internal/domain"
+	"nemesis/internal/mem"
+	"nemesis/internal/sfs"
+	"nemesis/internal/sim"
+	"nemesis/internal/stretchdrv"
+	"nemesis/internal/trace"
+	"nemesis/internal/usd"
+	"nemesis/internal/vm"
+)
+
+// Config sizes a System.
+type Config struct {
+	// Seed drives every random choice; identical seeds give identical runs.
+	Seed int64
+	// MemoryFrames is the number of 8 KB frames of main memory.
+	MemoryFrames int
+	// DiskGeometry describes the drive; disk.VP3221() is the paper's.
+	DiskGeometry disk.Geometry
+	// SwapPartition is the disk region the SFS manages. Zero means "the
+	// second half of the disk".
+	SwapPartition usd.Extent
+	// Costs is the CPU cost model; cpu.DefaultCosts() is the paper's.
+	Costs cpu.Costs
+	// VALow/VAHigh bound the single global virtual address space used for
+	// stretch allocation.
+	VALow, VAHigh vm.VA
+	// RevocationTimeout is the deadline T for intrusive revocation. It
+	// must be long enough to cover cleaning dirty pages through the USD —
+	// i.e. comfortably more than a disk QoS period — or cooperative
+	// domains get killed for waiting on their own disk slice.
+	RevocationTimeout time.Duration
+}
+
+// DefaultConfig returns the paper's evaluation platform: 64 MB of memory
+// and the Quantum VP3221 disk, with swap on the second half of the disk.
+func DefaultConfig() Config {
+	g := disk.VP3221()
+	return Config{
+		Seed:              1,
+		MemoryFrames:      8192, // 64 MB
+		DiskGeometry:      g,
+		SwapPartition:     usd.Extent{Start: g.TotalBlocks / 2, Count: g.TotalBlocks / 2},
+		Costs:             cpu.DefaultCosts(),
+		VALow:             0x0000001000000000,
+		VAHigh:            0x0000002000000000,
+		RevocationTimeout: 600 * time.Millisecond,
+	}
+}
+
+// System is a complete simulated Nemesis machine.
+type System struct {
+	Config Config
+	Sim    *sim.Simulator
+	Store  *mem.FrameStore
+	RamTab *mem.RamTab
+	Frames *mem.FramesAllocator
+	TS     *vm.TranslationSystem
+	SA     *vm.StretchAllocator
+	CPU    *cpu.Scheduler
+	Disk   *disk.Disk
+	USD    *usd.USD
+	SFS    *sfs.SFS
+	// USDLog receives the USD scheduler trace (transactions, laxity,
+	// allocations) used to regenerate the paper's figures.
+	USDLog *trace.Log
+
+	domains map[mem.DomainID]*domain.Domain
+	nextID  mem.DomainID
+}
+
+// New builds a System from cfg.
+func New(cfg Config) *System {
+	if cfg.MemoryFrames == 0 {
+		cfg = DefaultConfig()
+	}
+	s := sim.New(cfg.Seed)
+	store := mem.NewFrameStore(cfg.MemoryFrames)
+	ramtab := mem.NewRamTab(cfg.MemoryFrames)
+	frames := mem.NewFramesAllocator(s, store, ramtab)
+	ts := vm.NewTranslationSystem(ramtab)
+	sa := vm.NewStretchAllocator(ts, cfg.VALow, cfg.VAHigh)
+	sched := cpu.NewScheduler(s)
+	sched.Costs = cfg.Costs
+	d := disk.New(s, cfg.DiskGeometry)
+	u := usd.New(s, d)
+	log := &trace.Log{}
+	u.Log = log
+	swapPart := cfg.SwapPartition
+	if swapPart.Count == 0 {
+		swapPart = usd.Extent{Start: cfg.DiskGeometry.TotalBlocks / 2, Count: cfg.DiskGeometry.TotalBlocks / 2}
+	}
+	fs := sfs.New(u, swapPart)
+
+	sys := &System{
+		Config:  cfg,
+		Sim:     s,
+		Store:   store,
+		RamTab:  ramtab,
+		Frames:  frames,
+		TS:      ts,
+		SA:      sa,
+		CPU:     sched,
+		Disk:    d,
+		USD:     u,
+		SFS:     fs,
+		USDLog:  log,
+		domains: make(map[mem.DomainID]*domain.Domain),
+		nextID:  1, // 0 is the system domain
+	}
+	if cfg.RevocationTimeout > 0 {
+		frames.RevocationTimeout = cfg.RevocationTimeout
+	}
+	frames.OnKill = func(id mem.DomainID) {
+		if dom := sys.domains[id]; dom != nil {
+			dom.Kill()
+		}
+	}
+	return sys
+}
+
+// env bundles what domains need.
+func (sys *System) env() domain.Env {
+	return domain.Env{
+		Sim:    sys.Sim,
+		TS:     sys.TS,
+		SA:     sys.SA,
+		Store:  sys.Store,
+		RamTab: sys.RamTab,
+		Costs:  sys.Config.Costs,
+	}
+}
+
+// NewDomain admits a domain with the given CPU contract and physical-memory
+// contract, creating its protection domain and memory-management machinery.
+func (sys *System) NewDomain(name string, cpuQoS atropos.QoS, ct mem.Contract) (*domain.Domain, error) {
+	id := sys.nextID
+	pd, err := sys.TS.NewProtectionDomain()
+	if err != nil {
+		return nil, err
+	}
+	cpuDom, err := sys.CPU.Admit(name, cpuQoS)
+	if err != nil {
+		sys.TS.DestroyProtectionDomain(pd)
+		return nil, err
+	}
+	dom := domain.New(sys.env(), id, name, pd, cpuDom, nil)
+	memc, err := sys.Frames.Admit(id, ct, dom)
+	if err != nil {
+		sys.CPU.Remove(name)
+		sys.TS.DestroyProtectionDomain(pd)
+		return nil, err
+	}
+	dom.SetMemClient(memc)
+	sys.domains[id] = dom
+	sys.nextID++
+	return dom, nil
+}
+
+// Domain returns a domain by id, or nil.
+func (sys *System) Domain(id mem.DomainID) *domain.Domain { return sys.domains[id] }
+
+// Domains returns all live domains (including killed ones, until removed).
+func (sys *System) Domains() []*domain.Domain {
+	out := make([]*domain.Domain, 0, len(sys.domains))
+	for id := mem.DomainID(1); id < sys.nextID; id++ {
+		if d, ok := sys.domains[id]; ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// NewPagedStretch allocates a stretch of size bytes for dom, creates a swap
+// file of swapBytes with disk QoS q (pipeline depth 1, as pagers cannot
+// pipeline), and binds a paged stretch driver.
+func (sys *System) NewPagedStretch(dom *domain.Domain, size uint64, swapBytes int64, q atropos.QoS) (*vm.Stretch, *stretchdrv.Paged, error) {
+	st, err := dom.NewStretch(size)
+	if err != nil {
+		return nil, nil, err
+	}
+	swapName := fmt.Sprintf("%s-swap-%d", dom.Name(), st.ID())
+	swap, err := sys.SFS.CreateSwapFile(swapName, swapBytes, q, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	drv := stretchdrv.NewPaged(dom, st, swap)
+	return st, drv, nil
+}
+
+// NewStreamingStretch allocates a stretch backed by a stream-paging driver:
+// a paged stretch driver plus a prefetch pipeline of the given window depth
+// on a second IO channel (contract prefetchQ) over the same swap file.
+func (sys *System) NewStreamingStretch(dom *domain.Domain, size uint64, swapBytes int64, demandQ, prefetchQ atropos.QoS, window int) (*vm.Stretch, *stretchdrv.Streaming, error) {
+	st, paged, err := sys.NewPagedStretch(dom, size, swapBytes, demandQ)
+	if err != nil {
+		return nil, nil, err
+	}
+	pfCh, err := sys.SFS.OpenAlias(paged.Swap(), paged.Swap().Name()+"-pf", prefetchQ, window)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, stretchdrv.NewStreaming(dom, paged, pfCh, window), nil
+}
+
+// NewPhysicalStretch allocates a stretch backed by a physical stretch
+// driver (demand-zero, no backing store).
+func (sys *System) NewPhysicalStretch(dom *domain.Domain, size uint64) (*vm.Stretch, *stretchdrv.Physical, error) {
+	st, err := dom.NewStretch(size)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, stretchdrv.NewPhysical(dom, st), nil
+}
+
+// NewNailedStretch allocates a stretch fully backed and pinned at bind
+// time. It must be called from a thread (it allocates frames, which may
+// involve revocation waits).
+func (sys *System) NewNailedStretch(t *domain.Thread, size uint64) (*vm.Stretch, *stretchdrv.Nailed, error) {
+	dom := t.Domain()
+	st, err := dom.NewStretch(size)
+	if err != nil {
+		return nil, nil, err
+	}
+	drv, err := stretchdrv.BindNailed(t.Proc(), dom, st)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, drv, nil
+}
+
+// NewMappedFileStretch maps an SFS file into a fresh stretch of dom (the
+// memory-mapped-file path): faults demand-read the file, evictions and
+// Sync write dirty pages back, all under the file's own disk contract.
+func (sys *System) NewMappedFileStretch(dom *domain.Domain, file *sfs.SwapFile) (*vm.Stretch, *stretchdrv.Mapped, error) {
+	st, err := dom.NewStretch(uint64(file.Blocks()) * disk.BlockSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	drv, err := stretchdrv.NewMapped(dom, st, file)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, drv, nil
+}
+
+// ShareStretch grants another domain's protection domain rights on a
+// stretch the owner holds meta on — the single-address-space sharing the
+// paper relies on for "widespread sharing of text". The grantee does not
+// acquire a stretch-driver binding: sharing is intended for resident
+// (nailed) stretches, where the grantee never faults; a page fault taken by
+// the grantee on someone else's stretch is fatal to the grantee, exactly as
+// the no-safety-net rule prescribes.
+func (sys *System) ShareStretch(owner *domain.Domain, st *vm.Stretch, with *domain.Domain, r vm.Rights) error {
+	_, err := sys.TS.SetRights(owner.PD(), with.PD(), st.ID(), r)
+	return err
+}
+
+// PreallocateFrames acquires n frames for the calling thread's domain — the
+// initialisation pattern time-sensitive applications use so they never wait
+// on revocation later.
+func PreallocateFrames(t *domain.Thread, n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := t.Domain().MemClient().AllocFrame(t.Proc()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run advances the simulation by d.
+func (sys *System) Run(d time.Duration) { sys.Sim.RunFor(d) }
+
+// RunUntilIdle drains the event queue (bounded by maxEvents).
+func (sys *System) RunUntilIdle(maxEvents int) { sys.Sim.RunUntilIdle(maxEvents) }
+
+// Shutdown stops background service loops (currently the USD) so
+// RunUntilIdle terminates.
+func (sys *System) Shutdown() {
+	sys.USD.Stop()
+}

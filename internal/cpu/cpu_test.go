@@ -1,0 +1,166 @@
+package cpu
+
+import (
+	"testing"
+	"time"
+
+	"nemesis/internal/atropos"
+	"nemesis/internal/sim"
+)
+
+func ms(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestCostsSanity(t *testing.T) {
+	c := DefaultCosts()
+	if c.TrapCost() != c.EventSend+c.ContextSave+c.Activate {
+		t.Fatal("TrapCost composition")
+	}
+	// Paper: trap ~4.2us total, ~1us kernel + ~3.2us user.
+	if rt := c.FaultRoundTrip(); rt < 4*time.Microsecond || rt > 5*time.Microsecond {
+		t.Fatalf("FaultRoundTrip = %v, want ~4.2us", rt)
+	}
+	// dirty < prot1(PD) < prot1(PT).
+	if !(c.PTLookup < c.SyscallOverhead+c.PDChange && c.PDChange < c.SyscallOverhead+c.PTEUpdate) {
+		t.Fatalf("cost ordering broken: %+v", c)
+	}
+}
+
+func TestSerialisedCompute(t *testing.T) {
+	s := sim.New(1)
+	sched := NewScheduler(s)
+	a, _ := sched.Admit("a", atropos.QoS{P: ms(100), S: ms(50), X: true})
+	b, _ := sched.Admit("b", atropos.QoS{P: ms(100), S: ms(50), X: true})
+	var doneA, doneB sim.Time
+	s.Spawn("a", func(p *sim.Proc) {
+		a.Compute(p, 10*time.Millisecond)
+		doneA = p.Now()
+	})
+	s.Spawn("b", func(p *sim.Proc) {
+		b.Compute(p, 10*time.Millisecond)
+		doneB = p.Now()
+	})
+	s.RunUntilIdle(1 << 20)
+	// One CPU: 20ms of work total takes 20ms; both finish 10..20ms.
+	last := doneA
+	if doneB > last {
+		last = doneB
+	}
+	if last != sim.Time(20*time.Millisecond) {
+		t.Fatalf("last completion %v, want 20ms (serialised)", last)
+	}
+	if doneA == doneB {
+		t.Fatal("computations finished simultaneously on one CPU")
+	}
+}
+
+func TestComputeZeroDuration(t *testing.T) {
+	s := sim.New(1)
+	sched := NewScheduler(s)
+	a, _ := sched.Admit("a", atropos.QoS{P: ms(100), S: ms(50)})
+	done := false
+	s.Spawn("a", func(p *sim.Proc) {
+		a.Compute(p, 0)
+		a.Compute(p, -time.Second)
+		done = true
+	})
+	s.RunUntilIdle(1000)
+	if !done || s.Now() != 0 {
+		t.Fatalf("done=%v now=%v", done, s.Now())
+	}
+}
+
+func TestCPUGuaranteesUnderContention(t *testing.T) {
+	// Two domains with 2:1 CPU contracts, both always ready: progress 2:1.
+	s := sim.New(1)
+	sched := NewScheduler(s)
+	big, _ := sched.Admit("big", atropos.QoS{P: ms(100), S: ms(60)})
+	small, _ := sched.Admit("small", atropos.QoS{P: ms(100), S: ms(30)})
+	var nBig, nSmall int
+	s.Spawn("big", func(p *sim.Proc) {
+		for p.Now() < sim.Time(2*time.Second) {
+			big.Compute(p, ms(2))
+			nBig++
+		}
+	})
+	s.Spawn("small", func(p *sim.Proc) {
+		for p.Now() < sim.Time(2*time.Second) {
+			small.Compute(p, ms(2))
+			nSmall++
+		}
+	})
+	s.RunUntilIdle(1 << 22)
+	ratio := float64(nBig) / float64(nSmall)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("progress ratio = %.2f (big=%d small=%d), want ~2", ratio, nBig, nSmall)
+	}
+}
+
+func TestSlackDistribution(t *testing.T) {
+	// An x=true domain can exceed its tiny contract on an idle machine.
+	s := sim.New(1)
+	sched := NewScheduler(s)
+	d, _ := sched.Admit("d", atropos.QoS{P: ms(100), S: ms(1), X: true})
+	var work time.Duration
+	s.Spawn("d", func(p *sim.Proc) {
+		for p.Now() < sim.Time(time.Second) {
+			d.Compute(p, ms(1))
+			work += ms(1)
+		}
+	})
+	s.RunUntilIdle(1 << 22)
+	if work < 500*time.Millisecond {
+		t.Fatalf("x=true domain got only %v of an idle second", work)
+	}
+	// An x=false domain is limited to its guarantee.
+	s2 := sim.New(1)
+	sched2 := NewScheduler(s2)
+	e, _ := sched2.Admit("e", atropos.QoS{P: ms(100), S: ms(1), X: false})
+	var work2 time.Duration
+	s2.Spawn("e", func(p *sim.Proc) {
+		for p.Now() < sim.Time(time.Second) {
+			e.Compute(p, ms(1))
+			work2 += ms(1)
+		}
+	})
+	s2.RunUntilIdle(1 << 22)
+	if work2 > 20*time.Millisecond {
+		t.Fatalf("x=false domain got %v, want ~10ms", work2)
+	}
+}
+
+func TestAdmitRemove(t *testing.T) {
+	s := sim.New(1)
+	sched := NewScheduler(s)
+	if _, err := sched.Admit("a", atropos.QoS{P: ms(100), S: ms(80)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Admit("b", atropos.QoS{P: ms(100), S: ms(30)}); err == nil {
+		t.Fatal("overcommit admitted")
+	}
+	if sched.Contracted() != 0.8 {
+		t.Fatalf("Contracted = %v", sched.Contracted())
+	}
+	if err := sched.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Remove("a"); err == nil {
+		t.Fatal("double remove")
+	}
+	if _, err := sched.Admit("b", atropos.QoS{P: ms(100), S: ms(30)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainCPUAccessors(t *testing.T) {
+	s := sim.New(1)
+	sched := NewScheduler(s)
+	d, _ := sched.Admit("dom", atropos.QoS{P: ms(100), S: ms(10), X: true})
+	if d.Name() != "dom" {
+		t.Fatal("Name")
+	}
+	s.Spawn("t", func(p *sim.Proc) { d.Compute(p, ms(3)) })
+	s.RunUntilIdle(1 << 20)
+	if d.Charged() != ms(3) {
+		t.Fatalf("Charged = %v", d.Charged())
+	}
+}

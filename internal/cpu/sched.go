@@ -1,0 +1,157 @@
+package cpu
+
+import (
+	"time"
+
+	"nemesis/internal/atropos"
+	"nemesis/internal/sim"
+)
+
+// Scheduler multiplexes one processor among domains using the same Atropos
+// core as the USD. Domains consume CPU through DomainCPU.Compute, which
+// serialises execution: while one domain computes, others wait. Slack time
+// is handed round-robin to x=true clients, so a lightly loaded machine runs
+// everything and contracts only bind under contention.
+type Scheduler struct {
+	sim   *sim.Simulator
+	core  *atropos.Core
+	Costs Costs
+
+	busy    bool
+	waiters map[string]*waiter
+	order   []string
+	timer   sim.Timer
+}
+
+type waiter struct {
+	cond    *sim.Cond
+	pending int
+}
+
+// DomainCPU is one domain's handle on the processor.
+type DomainCPU struct {
+	s    *Scheduler
+	ac   *atropos.Client
+	name string
+}
+
+// NewScheduler creates a CPU scheduler on s.
+func NewScheduler(s *sim.Simulator) *Scheduler {
+	return &Scheduler{
+		sim:     s,
+		core:    atropos.NewCore(1.0),
+		Costs:   DefaultCosts(),
+		waiters: make(map[string]*waiter),
+	}
+}
+
+// Admit registers a domain with CPU contract q.
+func (s *Scheduler) Admit(name string, q atropos.QoS) (*DomainCPU, error) {
+	ac, err := s.core.Admit(name, q, s.sim.Now())
+	if err != nil {
+		return nil, err
+	}
+	s.waiters[name] = &waiter{cond: sim.NewCond(s.sim)}
+	s.order = append(s.order, name)
+	return &DomainCPU{s: s, ac: ac, name: name}, nil
+}
+
+// Remove deregisters a domain.
+func (s *Scheduler) Remove(name string) error {
+	if err := s.core.Remove(name); err != nil {
+		return err
+	}
+	delete(s.waiters, name)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Contracted returns the admitted CPU share.
+func (s *Scheduler) Contracted() float64 { return s.core.Contracted() }
+
+// Name returns the domain's scheduler name.
+func (d *DomainCPU) Name() string { return d.name }
+
+// Charged returns total CPU time charged to the domain.
+func (d *DomainCPU) Charged() time.Duration { return d.ac.Charged() }
+
+// hasWaiter reports whether the client has a thread waiting for CPU.
+func (s *Scheduler) hasWaiter(ac *atropos.Client) bool {
+	w, ok := s.waiters[ac.Name()]
+	return ok && w.pending > 0
+}
+
+// schedule grants the CPU to the best waiter, if the CPU is idle. Called
+// whenever scheduler state changes.
+func (s *Scheduler) schedule() {
+	if s.busy {
+		return
+	}
+	s.core.Refresh(s.sim.Now())
+	pick := s.core.PickEDFWith(s.hasWaiter)
+	if pick == nil {
+		// Slack: hand idle CPU to any x=true waiter round-robin.
+		pick = s.core.PickSlack(func(ac *atropos.Client) bool { return s.hasWaiter(ac) })
+	}
+	if pick == nil {
+		// Nothing runnable now; if threads are waiting on exhausted
+		// slices, wake up at the next period boundary.
+		anyWaiting := false
+		for _, w := range s.waiters {
+			if w.pending > 0 {
+				anyWaiting = true
+				break
+			}
+		}
+		if anyWaiting {
+			if b, ok := s.core.NextBoundary(); ok {
+				s.timer.Stop()
+				s.timer = s.sim.At(b, s.schedule)
+			}
+		}
+		return
+	}
+	s.busy = true
+	s.waiters[pick.Name()].cond.Signal()
+}
+
+// acquire blocks p until the CPU is granted to domain d.
+func (s *Scheduler) acquire(p *sim.Proc, d *DomainCPU) {
+	w := s.waiters[d.name]
+	w.pending++
+	s.sim.At(s.sim.Now(), s.schedule)
+	w.cond.Wait(p)
+	w.pending--
+}
+
+// release charges the consumed quantum and reschedules.
+func (s *Scheduler) release(d *DomainCPU, used time.Duration) {
+	s.core.Charge(d.ac, used)
+	s.busy = false
+	s.sim.At(s.sim.Now(), s.schedule)
+}
+
+// quantum bounds a single uninterrupted hold of the CPU, so a long
+// computation cannot block higher-urgency domains past one quantum.
+const quantum = time.Millisecond
+
+// Compute consumes dur of CPU time on behalf of the domain, blocking p for
+// at least dur of simulated time (longer under contention). Zero and
+// negative durations return immediately.
+func (d *DomainCPU) Compute(p *sim.Proc, dur time.Duration) {
+	for dur > 0 {
+		d.s.acquire(p, d)
+		q := dur
+		if q > quantum {
+			q = quantum
+		}
+		p.Sleep(q)
+		d.s.release(d, q)
+		dur -= q
+	}
+}

@@ -1,0 +1,54 @@
+package disk
+
+import (
+	"testing"
+
+	"nemesis/internal/sim"
+)
+
+func BenchmarkServiceTimeStreamHit(b *testing.B) {
+	s := sim.New(1)
+	d := New(s, VP3221())
+	d.ServiceTime(0, Read, 0, 16) // establish the stream
+	b.ReportAllocs()
+	b.ResetTimer()
+	block := int64(16)
+	for i := 0; i < b.N; i++ {
+		d.ServiceTime(sim.Time(i), Read, block, 16)
+		block += 16
+		if block > d.Geom.TotalBlocks-64 {
+			block = 16
+			d.ServiceTime(0, Read, 0, 16)
+		}
+	}
+}
+
+func BenchmarkServiceTimeRandom(b *testing.B) {
+	s := sim.New(1)
+	d := New(s, VP3221())
+	rng := s.Rand()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ServiceTime(sim.Time(i), Read, rng.Int63n(d.Geom.TotalBlocks-64), 16)
+	}
+}
+
+func BenchmarkWriteAt8K(b *testing.B) {
+	s := sim.New(1)
+	d := New(s, VP3221())
+	buf := make([]byte, 16*BlockSize)
+	done := 0
+	s.Spawn("w", func(p *sim.Proc) {
+		for done < b.N {
+			if err := d.WriteAt(p, int64(done%1000)*16, 16, buf); err != nil {
+				b.Error(err)
+				return
+			}
+			done++
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.RunUntilIdle(4*b.N + 100)
+}

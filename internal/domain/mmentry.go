@@ -1,0 +1,138 @@
+package domain
+
+import (
+	"nemesis/internal/sim"
+	"nemesis/internal/vm"
+)
+
+// job is one unit of work for the MMEntry's worker: either a fault whose
+// fast-path resolution returned Retry, or a revocation notification.
+type job struct {
+	fault  *vm.Fault // nil for revocation jobs
+	k      int       // frames to free, for revocation jobs
+	done   *sim.Cond
+	ok     bool
+	isDone bool
+}
+
+// MMEntry is the memory-management entry: the notification handler attached
+// to the kernel's fault endpoint, plus worker threads that carry out the
+// operations the handler cannot (anything requiring IDC). It does not
+// resolve faults itself: it coordinates the domain's stretch drivers.
+type MMEntry struct {
+	dom     *Domain
+	queue   []*job
+	wake    *sim.Cond
+	worker  *sim.Proc
+	stopped bool
+}
+
+func newMMEntry(d *Domain) *MMEntry {
+	mm := &MMEntry{dom: d, wake: sim.NewCond(d.env.Sim)}
+	mm.worker = d.env.Sim.Spawn(d.name+"/mm-worker", mm.run)
+	return mm
+}
+
+// QueueLen returns the number of outstanding jobs (for tests).
+func (mm *MMEntry) QueueLen() int { return len(mm.queue) }
+
+// resolve blocks p until a worker has processed fault f, reporting success.
+func (mm *MMEntry) resolve(p *sim.Proc, f *vm.Fault) bool {
+	j := &job{fault: f, done: sim.NewCond(mm.dom.env.Sim)}
+	mm.queue = append(mm.queue, j)
+	mm.wake.Signal()
+	for !j.isDone {
+		j.done.Wait(p)
+	}
+	return j.ok
+}
+
+// enqueueRevocation queues an asynchronous revocation job.
+func (mm *MMEntry) enqueueRevocation(k int) {
+	mm.queue = append(mm.queue, &job{k: k})
+	mm.wake.Signal()
+}
+
+// kill stops the worker.
+func (mm *MMEntry) kill() {
+	mm.stopped = true
+	if mm.worker != nil && !mm.worker.Done() {
+		mm.worker.Kill()
+	}
+	// Fail outstanding jobs so blocked threads unwind via their own kill.
+	for _, j := range mm.queue {
+		j.isDone = true
+		if j.done != nil {
+			j.done.Broadcast()
+		}
+	}
+	mm.queue = nil
+}
+
+// run is the worker thread: it pops jobs and invokes stretch drivers with
+// IDC allowed.
+func (mm *MMEntry) run(p *sim.Proc) {
+	d := mm.dom
+	for !mm.stopped {
+		if len(mm.queue) == 0 {
+			mm.wake.Wait(p)
+			continue
+		}
+		j := mm.queue[0]
+		mm.queue = mm.queue[1:]
+
+		// The worker runs on the domain's own CPU guarantee.
+		d.cpu.Compute(p, d.env.Costs.IDCRoundTrip)
+
+		if j.fault != nil {
+			drv := d.drivers[j.fault.SID]
+			if drv == nil {
+				j.ok = false
+			} else {
+				j.ok = drv.SatisfyFault(p, j.fault, true) == Success
+			}
+			j.isDone = true
+			j.done.Broadcast()
+			continue
+		}
+
+		// Revocation: cycle through the stretch drivers requesting that
+		// they relinquish frames until enough have been freed, then
+		// complete the protocol with the frames allocator.
+		need := j.k
+		for _, drv := range d.driverList() {
+			if need <= 0 {
+				break
+			}
+			need -= drv.Relinquish(p, need)
+		}
+		// Cleaning dirty pages takes time; the Relinquish calls above
+		// block as required. Completion hands the frames back.
+		d.memc.RevocationComplete()
+	}
+}
+
+// driverList returns the bound drivers in deterministic (stretch id) order,
+// without duplicates.
+func (d *Domain) driverList() []Driver {
+	seen := make(map[Driver]bool)
+	var ids []vm.StretchID
+	for id := range d.drivers {
+		ids = append(ids, id)
+	}
+	// Insertion order of map iteration is random; sort ids.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	var out []Driver
+	for _, id := range ids {
+		drv := d.drivers[id]
+		if !seen[drv] {
+			seen[drv] = true
+			out = append(out, drv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"time"
+
+	"nemesis/internal/atropos"
+	"nemesis/internal/baseline"
+	"nemesis/internal/core"
+	"nemesis/internal/domain"
+	"nemesis/internal/mem"
+	"nemesis/internal/sim"
+	"nemesis/internal/vm"
+	"nemesis/internal/workload"
+)
+
+// LaxityResult compares the USD with and without the laxity mechanism
+// (ablation A1: the "short-block problem" of early USD versions).
+type LaxityResult struct {
+	WithLaxityMbps    []float64
+	WithoutLaxityMbps []float64
+	// TxnsPerPeriodWithout is the unpipelined clients' mean transactions
+	// per period without laxity (the paper predicts ~1).
+	TxnsPerPeriodWithout []float64
+}
+
+// AblationLaxity runs a shortened Fig. 7 twice, toggling laxity.
+func AblationLaxity(measure time.Duration) (*LaxityResult, error) {
+	run := func(lax bool) (*PagingResult, error) {
+		opt := DefaultPagingOptions()
+		opt.LaxityEnabled = lax
+		opt.Measure = measure
+		// Skip the long init passes: steady-state behaviour is the point.
+		opt.VirtBytes = 1 << 20
+		return RunPaging(opt)
+	}
+	withLax, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	withoutLax, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	res := &LaxityResult{
+		WithLaxityMbps:    withLax.MeanMbps,
+		WithoutLaxityMbps: withoutLax.MeanMbps,
+	}
+	periods := measure.Seconds() / withoutLax.Opts.Period.Seconds()
+	for _, pg := range withoutLax.Pagers {
+		name := pg.Drv.Swap().Name()
+		txns := 0
+		for _, e := range withoutLax.Log.ByClient(name) {
+			if e.Kind == 0 && e.Start >= sim.Time(withoutLax.MeasureStart) {
+				txns++
+			}
+		}
+		res.TxnsPerPeriodWithout = append(res.TxnsPerPeriodWithout, float64(txns)/periods)
+	}
+	return res, nil
+}
+
+// FCFSResult compares Atropos scheduling with an unscheduled (FCFS) disk
+// (ablation A2): without QoS the contracted 4:2:1 split collapses to
+// demand-driven equality.
+type FCFSResult struct {
+	AtroposMbps []float64
+	FCFSMbps    []float64
+}
+
+// AblationFCFS runs a shortened Fig. 7 on both schedulers.
+func AblationFCFS(measure time.Duration) (*FCFSResult, error) {
+	run := func(fcfs bool) (*PagingResult, error) {
+		opt := DefaultPagingOptions()
+		opt.FCFS = fcfs
+		opt.Measure = measure
+		opt.VirtBytes = 1 << 20
+		return RunPaging(opt)
+	}
+	at, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	fc, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &FCFSResult{AtroposMbps: at.MeanMbps, FCFSMbps: fc.MeanMbps}, nil
+}
+
+// CrosstalkResult measures the paper's central argument (ablation A3): a
+// victim's paging throughput alone and alongside an aggressive faulter,
+// under self-paging and under a shared external pager.
+type CrosstalkResult struct {
+	SelfAloneMbps, SelfContendedMbps float64
+	ExtAloneMbps, ExtContendedMbps   float64
+}
+
+// SelfIsolation returns contended/alone under self-paging (want ~1).
+func (r *CrosstalkResult) SelfIsolation() float64 {
+	if r.SelfAloneMbps == 0 {
+		return 0
+	}
+	return r.SelfContendedMbps / r.SelfAloneMbps
+}
+
+// ExtIsolation returns contended/alone under the external pager (want <1,
+// showing crosstalk).
+func (r *CrosstalkResult) ExtIsolation() float64 {
+	if r.ExtAloneMbps == 0 {
+		return 0
+	}
+	return r.ExtContendedMbps / r.ExtAloneMbps
+}
+
+// extClient starts a client of the external pager that loops sequentially
+// over a stretch, returning a pointer to its progress counter.
+func extClient(sys *core.System, ep *baseline.ExternalPager, name string, virt uint64) (*int64, error) {
+	dom, err := sys.NewDomain(name,
+		atropos.QoS{P: 100 * time.Millisecond, S: 20 * time.Millisecond, X: true},
+		mem.Contract{})
+	if err != nil {
+		return nil, err
+	}
+	st, err := ep.NewClientStretch(dom, virt)
+	if err != nil {
+		return nil, err
+	}
+	bytes := new(int64)
+	dom.Go("main", func(t *domain.Thread) {
+		for {
+			for off := uint64(0); off < virt; off += vm.PageSize {
+				if err := t.Touch(st.Base()+vm.VA(off), vm.PageSize, vm.AccessRead); err != nil {
+					return
+				}
+				*bytes += int64(vm.PageSize)
+			}
+		}
+	})
+	return bytes, nil
+}
+
+// AblationCrosstalk runs the four configurations. Both systems get the
+// same total resources: 8 frames of page pool per client (or 16 shared)
+// and the same disk capability.
+func AblationCrosstalk(measure time.Duration) (*CrosstalkResult, error) {
+	const virt = 1 << 20 // 1 MB per client
+	res := &CrosstalkResult{}
+
+	// Self-paging: per-client contracts (8 frames, 25% disk each).
+	selfRun := func(withAggressor bool) (float64, error) {
+		cfg := core.DefaultConfig()
+		cfg.MemoryFrames = 1024
+		sys := core.New(cfg)
+		mk := func(name string) (*workload.Pager, error) {
+			pc := workload.DefaultPagerConfig(name, 62500*time.Microsecond) // 25%
+			pc.PhysFrames = 8
+			pc.VirtBytes = virt
+			pc.SkipInit = true
+			return workload.StartPager(sys, pc, nil)
+		}
+		victim, err := mk("victim")
+		if err != nil {
+			return 0, err
+		}
+		if withAggressor {
+			if _, err := mk("aggressor"); err != nil {
+				return 0, err
+			}
+		}
+		sys.Run(measure)
+		mbps := float64(victim.Bytes) * 8 / 1e6 / measure.Seconds()
+		sys.Shutdown()
+		return mbps, nil
+	}
+
+	// External pager: one shared pool (16 frames), one 50% disk contract,
+	// strict FCFS fault service.
+	extRun := func(withAggressor bool) (float64, error) {
+		cfg := core.DefaultConfig()
+		cfg.MemoryFrames = 1024
+		sys := core.New(cfg)
+		ep, err := baseline.NewExternalPager(sys, 16, 64<<20,
+			atropos.QoS{P: 250 * time.Millisecond, S: 125 * time.Millisecond, L: 10 * time.Millisecond})
+		if err != nil {
+			return 0, err
+		}
+		victimBytes, err := extClient(sys, ep, "victim", virt)
+		if err != nil {
+			return 0, err
+		}
+		if withAggressor {
+			if _, err := extClient(sys, ep, "aggressor", virt); err != nil {
+				return 0, err
+			}
+		}
+		sys.Run(measure)
+		mbps := float64(*victimBytes) * 8 / 1e6 / measure.Seconds()
+		sys.Shutdown()
+		return mbps, nil
+	}
+
+	var err error
+	if res.SelfAloneMbps, err = selfRun(false); err != nil {
+		return nil, err
+	}
+	if res.SelfContendedMbps, err = selfRun(true); err != nil {
+		return nil, err
+	}
+	if res.ExtAloneMbps, err = extRun(false); err != nil {
+		return nil, err
+	}
+	if res.ExtContendedMbps, err = extRun(true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SlackResult measures the x flag (ablation A4): the extra throughput an
+// x=true client extracts from an otherwise idle disk, versus x=false.
+type SlackResult struct {
+	XTrueMbps, XFalseMbps float64
+}
+
+// AblationSlack runs one 10%-guaranteed pager on an idle disk, with and
+// without slack eligibility.
+func AblationSlack(measure time.Duration) (*SlackResult, error) {
+	run := func(x bool) (float64, error) {
+		cfg := core.DefaultConfig()
+		cfg.MemoryFrames = 1024
+		sys := core.New(cfg)
+		sys.USD.SlackEnabled = true
+		pc := workload.DefaultPagerConfig("app", 25*time.Millisecond)
+		pc.DiskQoS.X = x
+		pc.VirtBytes = 1 << 20
+		pc.SkipInit = true
+		pg, err := workload.StartPager(sys, pc, nil)
+		if err != nil {
+			return 0, err
+		}
+		sys.Run(measure)
+		mbps := float64(pg.Bytes) * 8 / 1e6 / measure.Seconds()
+		sys.Shutdown()
+		return mbps, nil
+	}
+	xt, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	xf, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	return &SlackResult{XTrueMbps: xt, XFalseMbps: xf}, nil
+}
+
+// RevocationResult measures the latency of the two revocation paths
+// (ablation A5): transparent (victim's top-of-stack frames unused) versus
+// intrusive (dirty pages must be cleaned through the USD first).
+type RevocationResult struct {
+	TransparentMs float64
+	IntrusiveMs   float64
+}
+
+// AblationRevocation measures a single AllocFrame that triggers each path.
+func AblationRevocation() (*RevocationResult, error) {
+	res := &RevocationResult{}
+	run := func(dirty bool) (float64, error) {
+		cfg := core.DefaultConfig()
+		cfg.MemoryFrames = 16
+		sys := core.New(cfg)
+		hog, err := sys.NewDomain("hog",
+			atropos.QoS{P: 100 * time.Millisecond, S: 20 * time.Millisecond, X: true},
+			mem.Contract{Guaranteed: 2, Optimistic: 14})
+		if err != nil {
+			return 0, err
+		}
+		st, _, err := sys.NewPagedStretch(hog, 16*vm.PageSize, 64*vm.PageSize,
+			atropos.QoS{P: 250 * time.Millisecond, S: 125 * time.Millisecond, L: 10 * time.Millisecond})
+		if err != nil {
+			return 0, err
+		}
+		hog.Go("main", func(t *domain.Thread) {
+			if dirty {
+				// Every frame ends up mapped and dirty: intrusive path.
+				t.Touch(st.Base(), 16*vm.PageSize, vm.AccessWrite)
+			} else {
+				// Allocate frames but leave them unused: transparent path.
+				core.PreallocateFrames(t, 16)
+			}
+		})
+		sys.Run(2 * time.Second)
+
+		needy, err := sys.NewDomain("needy",
+			atropos.QoS{P: 100 * time.Millisecond, S: 20 * time.Millisecond, X: true},
+			mem.Contract{Guaranteed: 8})
+		if err != nil {
+			return 0, err
+		}
+		var latency time.Duration
+		needy.Go("main", func(t *domain.Thread) {
+			t0 := t.Now()
+			if _, err := needy.MemClient().AllocFrame(t.Proc()); err != nil {
+				return
+			}
+			latency = t.Now().Sub(t0)
+		})
+		sys.Run(5 * time.Second)
+		sys.Shutdown()
+		return latency.Seconds() * 1e3, nil
+	}
+	var err error
+	if res.TransparentMs, err = run(false); err != nil {
+		return nil, err
+	}
+	if res.IntrusiveMs, err = run(true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,385 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"nemesis/internal/atropos"
+	"nemesis/internal/core"
+	"nemesis/internal/domain"
+	"nemesis/internal/mem"
+	"nemesis/internal/stretchdrv"
+	"nemesis/internal/trace"
+	"nemesis/internal/usd"
+	"nemesis/internal/vm"
+	"nemesis/internal/workload"
+)
+
+// DepthResult is the pipeline-depth sweep (extension E1): the paper's FS
+// client "trades off additional buffer space against disk latency" by
+// pipelining transactions; this measures that trade-off.
+type DepthResult struct {
+	Depths []int
+	Mbps   []float64
+}
+
+// ExtensionPipelineDepth measures FS-client throughput against IO-channel
+// depth under the paper's 50% contract. The client spends 2 ms of
+// application processing per completed page, so a shallow pipeline leaves
+// the disk idle between its transactions (charged as lax time) while a deep
+// one overlaps processing with disk service.
+func ExtensionPipelineDepth(depths []int, measure time.Duration) (*DepthResult, error) {
+	res := &DepthResult{Depths: depths}
+	for _, depth := range depths {
+		cfg := core.DefaultConfig()
+		cfg.MemoryFrames = 512
+		sys := core.New(cfg)
+		part := usd.Extent{Start: 0, Count: sys.Disk.Geom.TotalBlocks / 4}
+		fcfg := workload.DefaultFSClientConfig("fs", part)
+		fcfg.Depth = depth
+		fcfg.ProcessTime = 2 * time.Millisecond
+		fcfg.SampleEvery = time.Second
+		var set trace.SeriesSet
+		fc, err := workload.StartFSClient(sys, fcfg, set.New("fs"))
+		if err != nil {
+			return nil, err
+		}
+		sys.Run(measure)
+		fc.Stop()
+		res.Mbps = append(res.Mbps, set.Get("fs").Mean())
+		sys.Shutdown()
+	}
+	return res, nil
+}
+
+// StreamPagingResult compares demand paging against the stream-paging
+// driver (extension E4 — the paper's §8: "the current stretch driver
+// implementation ... could be extended to handle additional pipe-lining via
+// a 'stream-paging' scheme"). The workload models a continuous-media
+// consumer: sequential reads with 1 ms of processing per page, so demand
+// paging serialises disk and CPU while stream paging overlaps them.
+type StreamPagingResult struct {
+	DemandMbps    float64
+	StreamingMbps float64
+	// Prefetches / PrefetchedUsed report predictor effectiveness.
+	Prefetches, PrefetchedUsed int64
+}
+
+// Speedup returns streaming/demand throughput.
+func (r *StreamPagingResult) Speedup() float64 {
+	if r.DemandMbps == 0 {
+		return 0
+	}
+	return r.StreamingMbps / r.DemandMbps
+}
+
+// ExtensionStreamPaging measures both drivers on the CM-consumer workload.
+func ExtensionStreamPaging(measure time.Duration) (*StreamPagingResult, error) {
+	const (
+		virt    = 2 << 20 // 256 pages
+		frames  = 16
+		window  = 8
+		perPage = time.Millisecond
+	)
+	demandQ := atropos.QoS{P: 250 * time.Millisecond, S: 100 * time.Millisecond, X: true, L: 10 * time.Millisecond}
+	prefetchQ := atropos.QoS{P: 250 * time.Millisecond, S: 100 * time.Millisecond, X: true, L: 10 * time.Millisecond}
+
+	run := func(streaming bool) (float64, int64, int64, error) {
+		cfg := core.DefaultConfig()
+		cfg.MemoryFrames = 1024
+		sys := core.New(cfg)
+		// Slack on: the disk is otherwise idle, so the comparison is
+		// about latency overlap, not slice budgets.
+		sys.USD.SlackEnabled = true
+		dom, err := sys.NewDomain("cm",
+			atropos.QoS{P: 100 * time.Millisecond, S: 80 * time.Millisecond, X: true},
+			mem.Contract{Guaranteed: frames})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		var st *vm.Stretch
+		var drv *stretchdrv.Streaming
+		if streaming {
+			st, drv, err = sys.NewStreamingStretch(dom, virt, 2*virt, demandQ, prefetchQ, window)
+		} else {
+			st, _, err = sys.NewPagedStretch(dom, virt, 2*virt, demandQ)
+		}
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		var bytes int64
+		ready := false
+		dom.Go("main", func(t *domain.Thread) {
+			core.PreallocateFrames(t, frames)
+			// Initialise: dirty every page so it all lands in swap.
+			if err := t.Touch(st.Base(), virt, vm.AccessWrite); err != nil {
+				return
+			}
+			ready = true
+			marker := t.Now()
+			_ = marker
+			for {
+				for off := 0; off < virt; off += vm.PageSize {
+					if err := t.Touch(st.Base()+vm.VA(off), vm.PageSize, vm.AccessRead); err != nil {
+						return
+					}
+					t.Compute(perPage) // per-page CM processing
+					if ready {
+						bytes += int64(vm.PageSize)
+					}
+				}
+			}
+		})
+		// Let initialisation finish, then measure.
+		for i := 0; i < 300 && !ready; i++ {
+			sys.Run(time.Second)
+		}
+		if !ready {
+			return 0, 0, 0, fmt.Errorf("experiments: stream-paging init did not finish")
+		}
+		bytes = 0
+		sys.Run(measure)
+		mbps := float64(bytes) * 8 / 1e6 / measure.Seconds()
+		var pf, used int64
+		if drv != nil {
+			pf, used = drv.Prefetches, drv.PrefetchedUsed
+		}
+		sys.Shutdown()
+		return mbps, pf, used, nil
+	}
+
+	res := &StreamPagingResult{}
+	var err error
+	if res.DemandMbps, _, _, err = run(false); err != nil {
+		return nil, err
+	}
+	if res.StreamingMbps, res.Prefetches, res.PrefetchedUsed, err = run(true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// GPTResult compares dirty-bit lookup cost on the linear page table against
+// the guarded page table (extension E3): the paper notes its "earlier
+// implementation using guarded page tables was about three times slower".
+type GPTResult struct {
+	LinearUS  float64
+	GuardedUS float64
+}
+
+// Slowdown returns guarded/linear.
+func (r *GPTResult) Slowdown() float64 {
+	if r.LinearUS == 0 {
+		return 0
+	}
+	return r.GuardedUS / r.LinearUS
+}
+
+// ExtensionGuardedPT runs the dirty micro-benchmark over both table
+// implementations, charging the per-node walk cost for each lookup.
+func ExtensionGuardedPT() (*GPTResult, error) {
+	const pages = 100
+	const iters = 4096
+	costs := core.DefaultConfig().Costs
+
+	run := func(table vm.Table) float64 {
+		// Populate like a real system: several stretches' NULL mappings
+		// plus the benchmark stretch, clustered as the stretch allocator
+		// would lay them out.
+		base := vm.VPN(0x1000000000 >> 13)
+		for i := vm.VPN(0); i < pages; i++ {
+			table.Insert(base+i, 1)
+		}
+		for i := vm.VPN(0); i < 64; i++ { // a neighbouring stretch
+			table.Insert(base+4096+i, 2)
+		}
+		rng := core.New(core.DefaultConfig()).Sim.Rand()
+		var total time.Duration
+		for i := 0; i < iters; i++ {
+			vpn := base + vm.VPN(rng.Intn(pages))
+			depth := table.WalkDepth(vpn)
+			if pte := table.Lookup(vpn); pte == nil {
+				return 0
+			}
+			// The terminal access costs a full PTLookup (entry fetch plus
+			// the dirty-bit test); each extra trie node is a pointer
+			// chase at GPTNodeVisit. The linear table has depth 1, so it
+			// charges exactly PTLookup.
+			total += costs.PTLookup + time.Duration(depth-1)*costs.GPTNodeVisit
+		}
+		return total.Seconds() * 1e6 / iters
+	}
+	res := &GPTResult{
+		LinearUS:  run(vm.NewPageTable()),
+		GuardedUS: run(vm.NewGuardedPageTable()),
+	}
+	return res, nil
+}
+
+// EvictionResult compares the paged driver's FIFO policy against the
+// second-chance refinement (extension E2 — the paper notes its "fairly pure
+// demand paged scheme ... can clearly be improved"). The metric is paging
+// *rate*: page-ins per megabyte of application progress (total page-ins
+// over a fixed window reward the better policy's higher progress, so the
+// rate is the honest comparison).
+type EvictionResult struct {
+	FIFOPageInsPerMB         float64
+	SecondChancePageInsPerMB float64
+	FIFOMbps                 float64
+	SecondChanceMbps         float64
+}
+
+// ExtensionSecondChance runs a workload with a hot page re-referenced
+// between every cold access: FIFO keeps evicting it; second chance keeps it
+// resident, so the paging rate drops.
+func ExtensionSecondChance(measure time.Duration) (*EvictionResult, error) {
+	run := func(secondChance bool) (pageInsPerMB, mbps float64, err error) {
+		cfg := core.DefaultConfig()
+		cfg.MemoryFrames = 512
+		sys := core.New(cfg)
+		dom, err := sys.NewDomain("app",
+			atropos.QoS{P: 100 * time.Millisecond, S: 20 * time.Millisecond, X: true},
+			mem.Contract{Guaranteed: 6})
+		if err != nil {
+			return 0, 0, err
+		}
+		st, drv, err := sys.NewPagedStretch(dom, 16*vm.PageSize, 64*vm.PageSize,
+			atropos.QoS{P: 250 * time.Millisecond, S: 200 * time.Millisecond, X: true, L: 10 * time.Millisecond})
+		if err != nil {
+			return 0, 0, err
+		}
+		drv.SecondChance = secondChance
+		dom.Go("main", func(t *domain.Thread) {
+			core.PreallocateFrames(t, 6)
+			// A 3-page hot set re-touched (several times) between every
+			// cold access, plus a 13-page cold stream, over 6 frames.
+			// FIFO evicts hot pages as they age; second chance sees their
+			// referenced bits refreshed between evictions and spares
+			// them. (The re-touches between consecutive evictions are
+			// what distinguish the policies: under total thrash CLOCK
+			// degenerates to FIFO.)
+			for {
+				for pg := 3; pg < 16; pg++ {
+					if err := t.Touch(st.PageBase(pg), vm.PageSize, vm.AccessRead); err != nil {
+						return
+					}
+					for rep := 0; rep < 3; rep++ {
+						for h := 0; h < 3; h++ {
+							if err := t.Touch(st.PageBase(h), vm.PageSize, vm.AccessRead); err != nil {
+								return
+							}
+						}
+					}
+				}
+			}
+		})
+		sys.Run(measure)
+		sys.Shutdown()
+		mb := float64(dom.Stats().BytesTouched) / (1 << 20)
+		if mb == 0 {
+			return 0, 0, nil
+		}
+		return float64(drv.Stats.PageIns) / mb, mb * 8 / measure.Seconds(), nil
+	}
+	res := &EvictionResult{}
+	var err error
+	if res.FIFOPageInsPerMB, res.FIFOMbps, err = run(false); err != nil {
+		return nil, err
+	}
+	if res.SecondChancePageInsPerMB, res.SecondChanceMbps, err = run(true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RebalanceResult measures the centralised global-performance policy
+// (extension E5 — the paper's §8: "ongoing work is looking at both
+// centralised and devolved solutions" to global performance). A worker with
+// a 32-page working set but only 8 guaranteed frames thrashes while an idle
+// domain sits on optimistic frames; the rebalancer moves them.
+type RebalanceResult struct {
+	WithoutMbps, WithMbps float64
+	Moves                 int64
+	WorkerFramesWithout   uint64
+	WorkerFramesWith      uint64
+}
+
+// Speedup returns with/without throughput.
+func (r *RebalanceResult) Speedup() float64 {
+	if r.WithoutMbps == 0 {
+		return 0
+	}
+	return r.WithMbps / r.WithoutMbps
+}
+
+// ExtensionRebalance runs the scenario with and without the rebalancer.
+func ExtensionRebalance(measure time.Duration) (*RebalanceResult, error) {
+	const (
+		total     = 48 // frames of main memory
+		workerSet = 32 // pages the worker loops over
+	)
+	run := func(rebalance bool) (float64, int64, uint64, error) {
+		cfg := core.DefaultConfig()
+		cfg.MemoryFrames = total
+		sys := core.New(cfg)
+		cpuQ := atropos.QoS{P: 100 * time.Millisecond, S: 30 * time.Millisecond, X: true}
+		diskQ := atropos.QoS{P: 250 * time.Millisecond, S: 100 * time.Millisecond, X: true, L: 10 * time.Millisecond}
+
+		// The idler grabs its optimistic frames and goes to sleep.
+		idler, err := sys.NewDomain("idler", cpuQ, mem.Contract{Guaranteed: 8, Optimistic: 32})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		sys.NewPagedStretch(idler, 40*vm.PageSize, 128*vm.PageSize,
+			atropos.QoS{P: 250 * time.Millisecond, S: 25 * time.Millisecond, L: 10 * time.Millisecond})
+		idler.Go("main", func(t *domain.Thread) {
+			core.PreallocateFrames(t, 40)
+			t.Sleep(time.Hour)
+		})
+		sys.Run(time.Second)
+
+		// The worker: 8 guaranteed + up to 24 optimistic, working set 32.
+		worker, err := sys.NewDomain("worker", cpuQ, mem.Contract{Guaranteed: 8, Optimistic: 24})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		st, _, err := sys.NewPagedStretch(worker, workerSet*vm.PageSize, 128*vm.PageSize, diskQ)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		var bytes int64
+		worker.Go("main", func(t *domain.Thread) {
+			core.PreallocateFrames(t, 8)
+			for {
+				for pg := 0; pg < workerSet; pg++ {
+					if err := t.Touch(st.PageBase(pg), vm.PageSize, vm.AccessRead); err != nil {
+						return
+					}
+					bytes += int64(vm.PageSize)
+				}
+			}
+		})
+		var rb *core.Rebalancer
+		if rebalance {
+			rb = sys.StartRebalancer(time.Second)
+		}
+		sys.Run(measure)
+		var moves int64
+		if rb != nil {
+			moves = rb.Moves
+			rb.Stop()
+		}
+		frames := worker.MemClient().Allocated()
+		sys.Shutdown()
+		return float64(bytes) * 8 / 1e6 / measure.Seconds(), moves, frames, nil
+	}
+	res := &RebalanceResult{}
+	var err error
+	if res.WithoutMbps, _, res.WorkerFramesWithout, err = run(false); err != nil {
+		return nil, err
+	}
+	if res.WithMbps, res.Moves, res.WorkerFramesWith, err = run(true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

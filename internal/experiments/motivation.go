@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"nemesis/internal/atropos"
+	"nemesis/internal/core"
+	"nemesis/internal/disk"
+	"nemesis/internal/domain"
+	"nemesis/internal/mem"
+	"nemesis/internal/usd"
+	"nemesis/internal/vm"
+)
+
+// MotivationResult is the paper's motivating example measured (§5: "an
+// application which plays a motion-JPEG video from disk should not be
+// adversely affected by a compilation started in the background"). A 25 fps
+// player streams 64 KB frames from disk and decodes them; a compilation
+// workload pages and computes heavily in the background. With QoS contracts
+// the player's deadlines hold; on a conventional (FCFS disk, free-for-all
+// CPU) configuration they collapse.
+type MotivationResult struct {
+	// QoSMissRate / FCFSMissRate are the fraction of frames that missed
+	// their 40 ms slot deadline in each configuration.
+	QoSMissRate, FCFSMissRate float64
+	// QoSJitterMs / FCFSJitterMs are the standard deviation of frame
+	// completion offsets within their slots, in milliseconds.
+	QoSJitterMs, FCFSJitterMs float64
+	// Frames is the number of frames measured per configuration.
+	Frames int
+}
+
+const (
+	framePeriod = 40 * time.Millisecond // 25 fps
+	framePages  = 8                     // 64 KB per frame
+	decodeTime  = 8 * time.Millisecond
+)
+
+// MotivationMJPEG runs the player+compiler scenario in both configurations.
+func MotivationMJPEG(measure time.Duration) (*MotivationResult, error) {
+	res := &MotivationResult{}
+	var err error
+	res.QoSMissRate, res.QoSJitterMs, res.Frames, err = runMJPEG(measure, true)
+	if err != nil {
+		return nil, err
+	}
+	res.FCFSMissRate, res.FCFSJitterMs, _, err = runMJPEG(measure, false)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runMJPEG(measure time.Duration, qos bool) (missRate, jitterMs float64, frames int, err error) {
+	cfg := core.DefaultConfig()
+	cfg.MemoryFrames = 2048
+	sys := core.New(cfg)
+	sys.USD.FCFS = !qos
+	sys.USD.SlackEnabled = true
+
+	// Player: CPU 10 ms per 40 ms; disk 18 ms per 40 ms (8 reads of ~2 ms).
+	playerCPU := atropos.QoS{P: framePeriod, S: 10 * time.Millisecond, X: false}
+	// The disk slice must cover the 8 reads (~16 ms) plus the laxity the
+	// client will be charged while idle-runnable between bursts (5 ms).
+	playerDisk := atropos.QoS{P: framePeriod, S: 24 * time.Millisecond, X: false, L: 5 * time.Millisecond}
+	// Compiler: a token guarantee; it lives on slack, like a batch job.
+	compCPU := atropos.QoS{P: 100 * time.Millisecond, S: 5 * time.Millisecond, X: true}
+	compDisk := atropos.QoS{P: 250 * time.Millisecond, S: 10 * time.Millisecond, X: true, L: 10 * time.Millisecond}
+	if !qos {
+		// Conventional configuration: no meaningful reservations — both
+		// sides contend freely (FCFS disk; CPU handed out as slack).
+		playerCPU = atropos.QoS{P: framePeriod, S: time.Millisecond, X: true}
+		playerDisk = atropos.QoS{P: framePeriod, S: time.Millisecond, X: true, L: 5 * time.Millisecond}
+	}
+
+	player, err := sys.NewDomain("player", playerCPU, mem.Contract{Guaranteed: 16})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	// The player streams its video from its own partition.
+	video := usd.Extent{Start: 0, Count: sys.Disk.Geom.TotalBlocks / 8}
+	ch, err := sys.USD.Open("player-video", playerDisk, framePages)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := sys.USD.Grant("player-video", video); err != nil {
+		return 0, 0, 0, err
+	}
+
+	var offsets []time.Duration
+	misses := 0
+	slots := 0
+	player.Go("play", func(t *domain.Thread) {
+		pageBlocks := int(vm.PageSize / disk.BlockSize)
+		next := video.Start
+		start := t.Now()
+		frame := 0
+		for {
+			slotStart := start.Add(time.Duration(frame) * framePeriod)
+			deadline := slotStart.Add(framePeriod)
+			t.Proc().SleepUntil(slotStart)
+			// Fetch the frame: 8 page-sized reads, pipelined.
+			for i := 0; i < framePages; i++ {
+				if err := ch.Submit(t.Proc(), &usd.Request{Op: disk.Read, Block: next, Count: pageBlocks}); err != nil {
+					return
+				}
+				next += int64(pageBlocks)
+				if next+int64(pageBlocks) > video.Start+video.Count {
+					next = video.Start
+				}
+			}
+			for i := 0; i < framePages; i++ {
+				if _, err := ch.Await(t.Proc()); err != nil {
+					return
+				}
+			}
+			t.Compute(decodeTime)
+			done := t.Now()
+			offsets = append(offsets, done.Sub(slotStart))
+			slots++
+			if done > deadline {
+				misses++
+			}
+			// After a miss, a real player drops frames and re-synchronises
+			// to the next full slot rather than free-running out of phase;
+			// each dropped slot counts as a miss.
+			frame++
+			if done > deadline {
+				resync := int(done.Sub(start)/framePeriod) + 1
+				if resync > frame {
+					misses += resync - frame
+					slots += resync - frame
+					frame = resync
+				}
+			}
+		}
+	})
+
+	// Compiler: heavy paging (large working set over few frames) plus CPU.
+	compiler, err := sys.NewDomain("compiler", compCPU, mem.Contract{Guaranteed: 8})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cst, _, err := sys.NewPagedStretch(compiler, 2<<20, 8<<20, compDisk)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	// It also streams source code from disk with a deep pipeline (the
+	// aggressive FCFS competitor).
+	src := usd.Extent{Start: sys.Disk.Geom.TotalBlocks / 4, Count: sys.Disk.Geom.TotalBlocks / 8}
+	srcCh, err := sys.USD.Open("compiler-src", compDisk, 16)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := sys.USD.Grant("compiler-src", src); err != nil {
+		return 0, 0, 0, err
+	}
+	compiler.Go("compile", func(t *domain.Thread) {
+		core.PreallocateFrames(t, 8)
+		pageBlocks := int(vm.PageSize / disk.BlockSize)
+		next := src.Start
+		inflight := 0
+		for {
+			// Keep 16 source reads in flight...
+			for inflight < 16 {
+				if err := srcCh.Submit(t.Proc(), &usd.Request{Op: disk.Read, Block: next, Count: pageBlocks}); err != nil {
+					return
+				}
+				inflight++
+				next += int64(pageBlocks)
+				if next+int64(pageBlocks) > src.Start+src.Count {
+					next = src.Start
+				}
+			}
+			if _, err := srcCh.Await(t.Proc()); err != nil {
+				return
+			}
+			inflight--
+			// ...while paging over its working set and burning CPU.
+			if err := t.Touch(cst.Base()+vm.VA((next*31)%int64(2<<20-vm.PageSize)), 64, vm.AccessWrite); err != nil {
+				return
+			}
+			t.Compute(500 * time.Microsecond)
+		}
+	})
+
+	sys.Run(measure)
+	sys.Shutdown()
+
+	if slots == 0 {
+		return 1, 0, 0, nil
+	}
+	var mean, varsum float64
+	for _, o := range offsets {
+		mean += o.Seconds()
+	}
+	mean /= float64(len(offsets))
+	for _, o := range offsets {
+		d := o.Seconds() - mean
+		varsum += d * d
+	}
+	jitterMs = math.Sqrt(varsum/float64(len(offsets))) * 1e3
+	return float64(misses) / float64(slots), jitterMs, slots, nil
+}

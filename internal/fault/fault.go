@@ -1,0 +1,60 @@
+// Package fault provides the kernel's fault-dispatch primitives: the
+// Nemesis event (an extremely lightweight counter — a transmission is "a
+// few sanity checks followed by the increment of a 64-bit value"), and the
+// fault record the kernel makes available to the faulting application.
+// The kernel part of fault handling is complete once the dispatch has
+// occurred: there is no blocking in the kernel for user-level entities.
+package fault
+
+import (
+	"nemesis/internal/sim"
+	"nemesis/internal/vm"
+)
+
+// Event is one event endpoint: a monotonically increasing 64-bit value
+// written by senders and acknowledged by the receiving domain. OnSend, when
+// set, is the receiver's wakeup hook (the activation path).
+type Event struct {
+	val    uint64
+	acked  uint64
+	OnSend func()
+}
+
+// Send transmits one event.
+func (e *Event) Send() {
+	e.val++
+	if e.OnSend != nil {
+		e.OnSend()
+	}
+}
+
+// Value returns the current counter.
+func (e *Event) Value() uint64 { return e.val }
+
+// Pending returns the number of unacknowledged events.
+func (e *Event) Pending() uint64 { return e.val - e.acked }
+
+// AckAll consumes all pending events, returning how many there were.
+func (e *Event) AckAll() uint64 {
+	n := e.val - e.acked
+	e.acked = e.val
+	return n
+}
+
+// AckOne consumes a single pending event; it reports whether one existed.
+func (e *Event) AckOne() bool {
+	if e.acked == e.val {
+		return false
+	}
+	e.acked++
+	return true
+}
+
+// Record is the information made available to the application to handle a
+// fault: the faulting address and cause, the thread involved, and the time
+// of the dispatch.
+type Record struct {
+	Fault  *vm.Fault
+	Thread string
+	At     sim.Time
+}

@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nemesis/internal/vm"
+)
+
+func TestEventCounting(t *testing.T) {
+	var e Event
+	if e.Pending() != 0 || e.Value() != 0 {
+		t.Fatal("fresh event nonzero")
+	}
+	e.Send()
+	e.Send()
+	if e.Pending() != 2 || e.Value() != 2 {
+		t.Fatalf("pending=%d value=%d", e.Pending(), e.Value())
+	}
+	if !e.AckOne() {
+		t.Fatal("AckOne failed")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	if n := e.AckAll(); n != 1 {
+		t.Fatalf("AckAll = %d", n)
+	}
+	if e.AckOne() {
+		t.Fatal("AckOne on drained event")
+	}
+}
+
+func TestEventOnSend(t *testing.T) {
+	var e Event
+	fired := 0
+	e.OnSend = func() { fired++ }
+	e.Send()
+	e.Send()
+	if fired != 2 {
+		t.Fatalf("OnSend fired %d times", fired)
+	}
+}
+
+// Property: value is monotone and pending == value - acked always, for any
+// interleaving of sends and acks.
+func TestEventMonotoneProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		var e Event
+		var lastVal uint64
+		for _, send := range ops {
+			if send {
+				e.Send()
+			} else {
+				e.AckOne()
+			}
+			if e.Value() < lastVal {
+				return false
+			}
+			lastVal = e.Value()
+			if e.Pending() > e.Value() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordCarriesFault(t *testing.T) {
+	f := &vm.Fault{VA: 0x1000, Class: vm.PageFault, Access: vm.AccessWrite}
+	r := Record{Fault: f, Thread: "worker", At: 42}
+	if r.Fault.Class != vm.PageFault || r.Thread != "worker" || r.At != 42 {
+		t.Fatal("record fields")
+	}
+}

@@ -1,0 +1,501 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nemesis/internal/sim"
+)
+
+// RevocationHandler is implemented by domains that use optimistically
+// allocated frames: the frames allocator calls RevokeNotification when it
+// needs k frames back by deadline. The domain must arrange for the top k
+// frames of its frame stack to be Unused (cleaning dirty pages if needed)
+// and then call Client.RevocationComplete. Failure to do so in time kills
+// the domain.
+type RevocationHandler interface {
+	RevokeNotification(k int, deadline sim.Time)
+}
+
+// Contract is a client's (g, o) service contract: g frames guaranteed
+// (immune from revocation in the short term) and up to o further frames
+// allocated optimistically when memory is otherwise idle.
+type Contract struct {
+	Guaranteed uint64
+	Optimistic uint64
+}
+
+// FramesAllocator is the central physical-memory allocator. Unlike a
+// general-purpose OS it performs no system-wide load balancing: each domain
+// has a contract, and contention is resolved by revoking optimistically
+// allocated frames — with the *selection* of which frames to lose under the
+// control of the losing application (via its frame stack).
+type FramesAllocator struct {
+	sim    *sim.Simulator
+	store  *FrameStore
+	ramtab *RamTab
+
+	freeList []PFN // ascending
+	clients  map[DomainID]*Client
+	freed    *sim.Cond
+
+	// RevocationTimeout is the deadline T granted to intrusive
+	// revocations (the paper suggests ~100 ms, "relatively far in the
+	// future" to allow cleaning dirty pages).
+	RevocationTimeout time.Duration
+
+	// OnKill, when non-nil, is invoked when a domain fails revocation.
+	// The system uses it to tear the domain down; the allocator reclaims
+	// the frames itself.
+	OnKill func(DomainID)
+
+	revoking bool
+}
+
+// NewFramesAllocator creates an allocator over store/ramtab (which must
+// cover the same number of frames).
+func NewFramesAllocator(s *sim.Simulator, store *FrameStore, ramtab *RamTab) *FramesAllocator {
+	fa := &FramesAllocator{
+		sim:               s,
+		store:             store,
+		ramtab:            ramtab,
+		clients:           make(map[DomainID]*Client),
+		freed:             sim.NewCond(s),
+		RevocationTimeout: 100 * time.Millisecond,
+	}
+	for i := 0; i < store.NFrames(); i++ {
+		fa.freeList = append(fa.freeList, PFN(i))
+	}
+	return fa
+}
+
+// Store returns the frame store.
+func (fa *FramesAllocator) Store() *FrameStore { return fa.store }
+
+// RamTab returns the frame-state table.
+func (fa *FramesAllocator) RamTab() *RamTab { return fa.ramtab }
+
+// FreeFrames returns the number of frames on the free list.
+func (fa *FramesAllocator) FreeFrames() int { return len(fa.freeList) }
+
+// GuaranteedTotal returns the sum of admitted guarantees.
+func (fa *FramesAllocator) GuaranteedTotal() uint64 {
+	var total uint64
+	for _, c := range fa.clients {
+		total += c.contract.Guaranteed
+	}
+	return total
+}
+
+// Client is one domain's view of the frames allocator: its contract, its
+// allocation count and its frame stack. The allocator maintains the tuple
+// (g, o, n) for each client.
+type Client struct {
+	fa       *FramesAllocator
+	domain   DomainID
+	contract Contract
+	n        uint64
+	stack    FrameStack
+	handler  RevocationHandler
+
+	pendingK        int
+	pendingDeadline sim.Time
+	pendingTimer    sim.Timer
+	killed          bool
+}
+
+// Admit registers a domain with contract ct. Admission control ensures the
+// sum of all guarantees never exceeds main memory, so every guarantee can be
+// met simultaneously.
+func (fa *FramesAllocator) Admit(domain DomainID, ct Contract, h RevocationHandler) (*Client, error) {
+	if _, dup := fa.clients[domain]; dup {
+		return nil, fmt.Errorf("mem: domain %d already admitted", domain)
+	}
+	if fa.GuaranteedTotal()+ct.Guaranteed > uint64(fa.store.NFrames()) {
+		return nil, fmt.Errorf("%w: %d + %d > %d frames", ErrOverbooked,
+			fa.GuaranteedTotal(), ct.Guaranteed, fa.store.NFrames())
+	}
+	c := &Client{fa: fa, domain: domain, contract: ct, handler: h}
+	fa.clients[domain] = c
+	return c, nil
+}
+
+// Lookup returns the client for a domain, or nil.
+func (fa *FramesAllocator) Lookup(domain DomainID) *Client { return fa.clients[domain] }
+
+// Remove releases a departed domain's registration. All its frames must
+// already have been returned.
+func (fa *FramesAllocator) Remove(domain DomainID) error {
+	c, ok := fa.clients[domain]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownClient, domain)
+	}
+	if c.n != 0 {
+		return fmt.Errorf("mem: domain %d still holds %d frames", domain, c.n)
+	}
+	delete(fa.clients, domain)
+	return nil
+}
+
+// Domain returns the owning domain.
+func (c *Client) Domain() DomainID { return c.domain }
+
+// Contract returns the client's (g, o) contract.
+func (c *Client) Contract() Contract { return c.contract }
+
+// Allocated returns n, the number of frames currently held.
+func (c *Client) Allocated() uint64 { return c.n }
+
+// HoldsOptimistic reports whether the client holds frames beyond its
+// guarantee.
+func (c *Client) HoldsOptimistic() bool { return c.n > c.contract.Guaranteed }
+
+// Stack returns the client's frame stack.
+func (c *Client) Stack() *FrameStack { return &c.stack }
+
+// Killed reports whether the allocator killed this domain for failing a
+// revocation.
+func (c *Client) Killed() bool { return c.killed }
+
+// takeFree removes and returns a specific free-list index.
+func (fa *FramesAllocator) takeFree(i int) PFN {
+	pfn := fa.freeList[i]
+	fa.freeList = append(fa.freeList[:i], fa.freeList[i+1:]...)
+	return pfn
+}
+
+// grant hands pfn to c.
+func (fa *FramesAllocator) grant(c *Client, pfn PFN) {
+	fa.ramtab.Grant(pfn, c.domain, 0)
+	c.stack.PushTop(pfn)
+	c.n++
+}
+
+// TryAllocFrame allocates one frame without blocking and without triggering
+// revocation. As long as n < g the request is guaranteed to succeed when any
+// frame is free; beyond g it succeeds optimistically while memory is
+// available, up to g+o.
+func (c *Client) TryAllocFrame() (PFN, error) {
+	if c.killed {
+		return 0, ErrKilledByAlloc
+	}
+	if c.n >= c.contract.Guaranteed+c.contract.Optimistic {
+		return 0, fmt.Errorf("%w: n=%d g=%d o=%d", ErrQuota, c.n, c.contract.Guaranteed, c.contract.Optimistic)
+	}
+	if len(c.fa.freeList) == 0 {
+		return 0, ErrNoMemory
+	}
+	pfn := c.fa.takeFree(0)
+	c.fa.grant(c, pfn)
+	return pfn, nil
+}
+
+// AllocFrame allocates one frame, blocking p while a revocation runs if the
+// request is within the guarantee and memory is exhausted. Optimistic
+// requests (n >= g) never trigger revocation and fail immediately when
+// memory is tight.
+func (c *Client) AllocFrame(p *sim.Proc) (PFN, error) {
+	for {
+		pfn, err := c.TryAllocFrame()
+		if err == nil {
+			return pfn, nil
+		}
+		if !errors.Is(err, ErrNoMemory) {
+			return 0, err
+		}
+		if c.n >= c.contract.Guaranteed {
+			return 0, err // optimistic request: no safety net
+		}
+		c.fa.ensureRevocation()
+		// Transparent revocation frees frames synchronously — retry
+		// before sleeping so the wakeup is not lost.
+		if pfn, err := c.TryAllocFrame(); err == nil {
+			return pfn, nil
+		}
+		c.fa.freed.Wait(p)
+		if c.killed {
+			return 0, ErrKilledByAlloc
+		}
+	}
+}
+
+// AllocSpecific allocates a particular frame if it is free — the hook for
+// applications with platform knowledge (page colouring, superpages, DMA
+// regions).
+func (c *Client) AllocSpecific(pfn PFN) error {
+	if c.killed {
+		return ErrKilledByAlloc
+	}
+	if c.n >= c.contract.Guaranteed+c.contract.Optimistic {
+		return fmt.Errorf("%w: n=%d", ErrQuota, c.n)
+	}
+	for i, f := range c.fa.freeList {
+		if f == pfn {
+			c.fa.takeFree(i)
+			c.fa.grant(c, pfn)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: frame %d not free", ErrNoMemory, pfn)
+}
+
+// AllocColoured allocates a free frame of the given cache colour
+// (pfn mod ncolours == colour) — the page-colouring hook the paper cites
+// for avoiding conflict misses in large direct-mapped caches. Applications
+// with platform knowledge choose colours; everyone else takes the default
+// policy.
+func (c *Client) AllocColoured(colour, ncolours int) (PFN, error) {
+	if c.killed {
+		return 0, ErrKilledByAlloc
+	}
+	if ncolours <= 0 || colour < 0 || colour >= ncolours {
+		return 0, fmt.Errorf("mem: bad colour %d of %d", colour, ncolours)
+	}
+	if c.n >= c.contract.Guaranteed+c.contract.Optimistic {
+		return 0, fmt.Errorf("%w: n=%d", ErrQuota, c.n)
+	}
+	for i, f := range c.fa.freeList {
+		if int(f)%ncolours == colour {
+			c.fa.takeFree(i)
+			c.fa.grant(c, f)
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: no free frame of colour %d/%d", ErrNoMemory, colour, ncolours)
+}
+
+// AllocContiguous allocates n physically contiguous frames whose base is
+// aligned to n (which must be a power of two) — the building block for
+// superpage TLB mappings. All frames are granted to the client; the base
+// PFN is returned.
+func (c *Client) AllocContiguous(n int) (PFN, error) {
+	if c.killed {
+		return 0, ErrKilledByAlloc
+	}
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("mem: contiguous run of %d is not a power of two", n)
+	}
+	if c.n+uint64(n) > c.contract.Guaranteed+c.contract.Optimistic {
+		return 0, fmt.Errorf("%w: n=%d + %d", ErrQuota, c.n, n)
+	}
+	// The free list is kept unsorted after frees; scan for an aligned run
+	// present in its entirety.
+	free := make(map[PFN]bool, len(c.fa.freeList))
+	for _, f := range c.fa.freeList {
+		free[f] = true
+	}
+	for base := PFN(0); int(base)+n <= c.fa.store.NFrames(); base += PFN(n) {
+		run := true
+		for i := 0; i < n; i++ {
+			if !free[base+PFN(i)] {
+				run = false
+				break
+			}
+		}
+		if !run {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			for j, f := range c.fa.freeList {
+				if f == base+PFN(i) {
+					c.fa.takeFree(j)
+					break
+				}
+			}
+			c.fa.grant(c, base+PFN(i))
+		}
+		return base, nil
+	}
+	return 0, fmt.Errorf("%w: no aligned free run of %d frames", ErrNoMemory, n)
+}
+
+// AllocInRegion allocates a free frame with lo <= pfn < hi (e.g. a
+// DMA-accessible region).
+func (c *Client) AllocInRegion(lo, hi PFN) (PFN, error) {
+	if c.killed {
+		return 0, ErrKilledByAlloc
+	}
+	if c.n >= c.contract.Guaranteed+c.contract.Optimistic {
+		return 0, fmt.Errorf("%w: n=%d", ErrQuota, c.n)
+	}
+	for i, f := range c.fa.freeList {
+		if f >= lo && f < hi {
+			c.fa.takeFree(i)
+			c.fa.grant(c, f)
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: no free frame in [%d,%d)", ErrNoMemory, lo, hi)
+}
+
+// FreeFrame voluntarily returns an Unused frame to the allocator.
+func (c *Client) FreeFrame(pfn PFN) error {
+	owner, err := c.fa.ramtab.Owner(pfn)
+	if err != nil {
+		return err
+	}
+	state, _ := c.fa.ramtab.State(pfn)
+	if state == Free || owner != c.domain {
+		return fmt.Errorf("%w: frame %d", ErrNotOwner, pfn)
+	}
+	if state != Unused {
+		return fmt.Errorf("%w: frame %d is %s", ErrFrameBusy, pfn, state)
+	}
+	if err := c.fa.ramtab.Release(pfn); err != nil {
+		return err
+	}
+	c.stack.Remove(pfn)
+	c.n--
+	c.fa.freeList = append(c.fa.freeList, pfn)
+	c.fa.freed.Broadcast()
+	return nil
+}
+
+// pickVictim selects the domain to revoke from: the one holding the most
+// optimistic frames. Only domains with optimistically allocated frames are
+// candidates.
+func (fa *FramesAllocator) pickVictim() *Client {
+	var victim *Client
+	var victimExcess uint64
+	for _, c := range fa.clients {
+		if c.killed || c.n <= c.contract.Guaranteed {
+			continue
+		}
+		excess := c.n - c.contract.Guaranteed
+		if victim == nil || excess > victimExcess ||
+			(excess == victimExcess && c.domain < victim.domain) {
+			victim, victimExcess = c, excess
+		}
+	}
+	return victim
+}
+
+// ensureRevocation starts a revocation round if none is running.
+func (fa *FramesAllocator) ensureRevocation() {
+	victim := fa.pickVictim()
+	if victim == nil {
+		return // nothing revocable; guarantees invariant says this cannot
+		// happen for a within-guarantee request, but be safe
+	}
+	// Revoke a single frame per round; rounds repeat as needed.
+	fa.revokeFrom(victim, 1)
+}
+
+// RequestRevocation directs a revocation round of k frames at a specific
+// client — the hook a global-performance policy (rebalancer) uses to move
+// optimistic frames from idle domains to thrashing ones. Only frames above
+// the victim's guarantee may be taken.
+func (fa *FramesAllocator) RequestRevocation(victim DomainID, k int) error {
+	c, ok := fa.clients[victim]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownClient, victim)
+	}
+	if c.killed || c.n <= c.contract.Guaranteed {
+		return fmt.Errorf("mem: domain %d has no optimistic frames", victim)
+	}
+	if excess := int(c.n - c.contract.Guaranteed); k > excess {
+		k = excess
+	}
+	fa.revokeFrom(c, k)
+	return nil
+}
+
+// revokeFrom runs one revocation round (transparent, else intrusive)
+// against victim for k frames. A no-op while another round is in flight.
+func (fa *FramesAllocator) revokeFrom(victim *Client, k int) {
+	if fa.revoking {
+		return
+	}
+	fa.revoking = true
+
+	// Transparent revocation: if the top of the victim's stack is unused,
+	// reclaim it without troubling the application.
+	if got := fa.reclaimTopUnused(victim, k); got >= k {
+		fa.revoking = false
+		return
+	} else {
+		k -= got
+	}
+
+	// Intrusive revocation: notify and give the victim until T.
+	deadline := fa.sim.Now().Add(fa.RevocationTimeout)
+	victim.pendingK = k
+	victim.pendingDeadline = deadline
+	victim.pendingTimer = fa.sim.At(deadline, func() { fa.revocationTimeout(victim) })
+	if victim.handler != nil {
+		victim.handler.RevokeNotification(k, deadline)
+	}
+	// No handler: the timeout will kill the domain — using optimistic
+	// frames without handling revocation is a contract violation.
+}
+
+// reclaimTopUnused reclaims up to k unused frames from the top of the
+// victim's stack, returning how many it got.
+func (fa *FramesAllocator) reclaimTopUnused(victim *Client, k int) int {
+	got := 0
+	for got < k {
+		top := victim.stack.Top(1)
+		if len(top) == 0 {
+			break
+		}
+		state, err := fa.ramtab.State(top[0].PFN)
+		if err != nil || state != Unused {
+			break
+		}
+		pfn := top[0].PFN
+		fa.ramtab.Release(pfn)
+		victim.stack.Remove(pfn)
+		victim.n--
+		fa.freeList = append(fa.freeList, pfn)
+		got++
+	}
+	if got > 0 {
+		fa.freed.Broadcast()
+	}
+	return got
+}
+
+// RevocationComplete is called by the victim domain once it has arranged
+// for the top k frames of its stack to be unused. The allocator verifies
+// and reclaims; non-compliance kills the domain.
+func (c *Client) RevocationComplete() {
+	fa := c.fa
+	if c.pendingK == 0 {
+		return
+	}
+	k := c.pendingK
+	c.pendingTimer.Stop()
+	c.pendingK = 0
+	if fa.reclaimTopUnused(c, k) < k {
+		fa.kill(c)
+	}
+	fa.revoking = false
+}
+
+// revocationTimeout fires when the victim failed to comply by T.
+func (fa *FramesAllocator) revocationTimeout(victim *Client) {
+	if victim.pendingK == 0 || victim.killed {
+		return
+	}
+	victim.pendingK = 0
+	fa.kill(victim)
+	fa.revoking = false
+}
+
+// kill reclaims every frame of a non-compliant domain and notifies the
+// system so the domain itself can be destroyed.
+func (fa *FramesAllocator) kill(c *Client) {
+	c.killed = true
+	for _, pfn := range fa.ramtab.OwnedBy(c.domain) {
+		// Force release regardless of state: the domain is dead.
+		fa.ramtab.entries[pfn] = ramtabEntry{}
+		fa.freeList = append(fa.freeList, pfn)
+	}
+	c.stack.entries = nil
+	c.n = 0
+	if fa.OnKill != nil {
+		fa.OnKill(c.domain)
+	}
+	fa.freed.Broadcast()
+}

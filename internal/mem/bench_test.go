@@ -1,0 +1,47 @@
+package mem
+
+import "testing"
+
+func BenchmarkTryAllocFree(b *testing.B) {
+	_, fa := newAlloc(64)
+	c, err := fa.Admit(1, Contract{Guaranteed: 32}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pfn, err := c.TryAllocFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.FreeFrame(pfn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameStackReorder(b *testing.B) {
+	var st FrameStack
+	for i := 0; i < 64; i++ {
+		st.PushBottom(PFN(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pfn := PFN(i % 64)
+		st.MoveToTop(pfn)
+		st.MoveToBottom(pfn)
+	}
+}
+
+func BenchmarkRamTabTransitions(b *testing.B) {
+	rt := NewRamTab(8)
+	rt.Grant(3, 1, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.SetState(3, 1, Mapped)
+		rt.SetState(3, 1, Unused)
+	}
+}

@@ -1,0 +1,71 @@
+// Package mem implements the physical-memory side of the Nemesis VM system:
+// the frame store (simulated RAM with real contents), the RamTab recording
+// per-frame ownership and state, per-domain frame stacks ordered by
+// revocation preference, and the frames allocator with guaranteed/optimistic
+// contracts and the two-phase (transparent/intrusive) revocation protocol.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the machine page size: 8 KB, as on the Alpha 21164 the paper
+// evaluates on. Frames and pages share this size (logical frame width 0).
+const PageSize = 8192
+
+// PFN is a physical frame number.
+type PFN uint64
+
+// DomainID identifies a Nemesis domain (the analogue of a process). Domain
+// 0 is the system domain.
+type DomainID uint32
+
+// SystemDomain is the distinguished system domain.
+const SystemDomain DomainID = 0
+
+// Errors returned by the physical memory subsystem.
+var (
+	ErrNoMemory      = errors.New("mem: out of physical memory")
+	ErrQuota         = errors.New("mem: allocation would exceed contracted quota")
+	ErrOverbooked    = errors.New("mem: admission would overcommit guaranteed frames")
+	ErrNotOwner      = errors.New("mem: frame not owned by caller")
+	ErrBadFrame      = errors.New("mem: frame number out of range")
+	ErrFrameBusy     = errors.New("mem: frame is mapped or nailed")
+	ErrUnknownClient = errors.New("mem: unknown client domain")
+	ErrKilledByAlloc = errors.New("mem: domain killed for failing revocation")
+)
+
+// FrameStore is the simulated physical memory: nframes frames of PageSize
+// bytes, allocated lazily so large memories cost only what is touched.
+type FrameStore struct {
+	nframes int
+	data    [][]byte
+}
+
+// NewFrameStore creates a store of nframes frames.
+func NewFrameStore(nframes int) *FrameStore {
+	return &FrameStore{nframes: nframes, data: make([][]byte, nframes)}
+}
+
+// NFrames returns the number of frames of main memory.
+func (fs *FrameStore) NFrames() int { return fs.nframes }
+
+// Frame returns the backing bytes of pfn, allocating them on first touch.
+func (fs *FrameStore) Frame(pfn PFN) []byte {
+	if int(pfn) >= fs.nframes {
+		panic(fmt.Sprintf("mem: frame %d out of range (%d frames)", pfn, fs.nframes))
+	}
+	if fs.data[pfn] == nil {
+		fs.data[pfn] = make([]byte, PageSize)
+	}
+	return fs.data[pfn]
+}
+
+// Zero clears a frame (hardware-assist page zeroing).
+func (fs *FrameStore) Zero(pfn PFN) {
+	f := fs.Frame(pfn)
+	for i := range f {
+		f[i] = 0
+	}
+}

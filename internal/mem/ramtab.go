@@ -1,0 +1,165 @@
+package mem
+
+import "fmt"
+
+// FrameState is the RamTab's record of how a frame of main memory is
+// currently used. The low-level translation system refuses to map a frame
+// that is not Unused, and refuses to unmap one that is Nailed.
+type FrameState uint8
+
+const (
+	// Free frames belong to the frames allocator.
+	Free FrameState = iota
+	// Unused frames are owned by a domain but not mapped; they are what
+	// transparent revocation can reclaim.
+	Unused
+	// Mapped frames back at least one virtual page.
+	Mapped
+	// Nailed frames are pinned (nailed stretch drivers, DMA) and cannot
+	// be unmapped or revoked.
+	Nailed
+)
+
+func (s FrameState) String() string {
+	switch s {
+	case Free:
+		return "free"
+	case Unused:
+		return "unused"
+	case Mapped:
+		return "mapped"
+	case Nailed:
+		return "nailed"
+	default:
+		return fmt.Sprintf("state(%d)", s)
+	}
+}
+
+// ramtabEntry is one frame's record: owner, state and logical frame width
+// (log2 of the frame size in pages — 0 for normal pages, >0 for superpage
+// candidates).
+type ramtabEntry struct {
+	owner DomainID
+	state FrameState
+	width uint8
+}
+
+// RamTab is the simple data structure the paper describes: it records the
+// owner and logical frame width of allocated frames and the current use of
+// each frame. It is deliberately simple enough to be consulted by low-level
+// (translation system) code.
+type RamTab struct {
+	entries []ramtabEntry
+}
+
+// NewRamTab creates a RamTab covering nframes frames, all Free.
+func NewRamTab(nframes int) *RamTab {
+	return &RamTab{entries: make([]ramtabEntry, nframes)}
+}
+
+// NFrames returns the number of frames covered.
+func (rt *RamTab) NFrames() int { return len(rt.entries) }
+
+// valid reports whether pfn is in range.
+func (rt *RamTab) valid(pfn PFN) bool { return int(pfn) < len(rt.entries) }
+
+// Owner returns the owning domain of pfn (meaningless for Free frames).
+func (rt *RamTab) Owner(pfn PFN) (DomainID, error) {
+	if !rt.valid(pfn) {
+		return 0, fmt.Errorf("%w: %d", ErrBadFrame, pfn)
+	}
+	return rt.entries[pfn].owner, nil
+}
+
+// State returns the frame's state.
+func (rt *RamTab) State(pfn PFN) (FrameState, error) {
+	if !rt.valid(pfn) {
+		return 0, fmt.Errorf("%w: %d", ErrBadFrame, pfn)
+	}
+	return rt.entries[pfn].state, nil
+}
+
+// Width returns the logical frame width.
+func (rt *RamTab) Width(pfn PFN) (uint8, error) {
+	if !rt.valid(pfn) {
+		return 0, fmt.Errorf("%w: %d", ErrBadFrame, pfn)
+	}
+	return rt.entries[pfn].width, nil
+}
+
+// SetWidth records the logical frame width of pfn (log2 pages of the
+// superpage block it participates in).
+func (rt *RamTab) SetWidth(pfn PFN, width uint8) error {
+	if !rt.valid(pfn) {
+		return fmt.Errorf("%w: %d", ErrBadFrame, pfn)
+	}
+	rt.entries[pfn].width = width
+	return nil
+}
+
+// Grant records a frame's transfer from the allocator to a domain.
+func (rt *RamTab) Grant(pfn PFN, owner DomainID, width uint8) error {
+	if !rt.valid(pfn) {
+		return fmt.Errorf("%w: %d", ErrBadFrame, pfn)
+	}
+	rt.entries[pfn] = ramtabEntry{owner: owner, state: Unused, width: width}
+	return nil
+}
+
+// Release returns a frame to the allocator. Mapped or nailed frames cannot
+// be released.
+func (rt *RamTab) Release(pfn PFN) error {
+	if !rt.valid(pfn) {
+		return fmt.Errorf("%w: %d", ErrBadFrame, pfn)
+	}
+	if s := rt.entries[pfn].state; s == Mapped || s == Nailed {
+		return fmt.Errorf("%w: %d is %s", ErrFrameBusy, pfn, s)
+	}
+	rt.entries[pfn] = ramtabEntry{}
+	return nil
+}
+
+// SetState transitions a frame's usage state on behalf of owner. The
+// transition rules encode the validation the low-level translation system
+// performs: only the owner may transition its frames; a Mapped/Nailed frame
+// must pass through Unused via an explicit unmap; Free frames belong to the
+// allocator and cannot be touched.
+func (rt *RamTab) SetState(pfn PFN, owner DomainID, to FrameState) error {
+	if !rt.valid(pfn) {
+		return fmt.Errorf("%w: %d", ErrBadFrame, pfn)
+	}
+	e := &rt.entries[pfn]
+	if e.state == Free {
+		return fmt.Errorf("%w: frame %d is free", ErrNotOwner, pfn)
+	}
+	if e.owner != owner {
+		return fmt.Errorf("%w: frame %d owned by domain %d, caller %d", ErrNotOwner, pfn, e.owner, owner)
+	}
+	switch {
+	case e.state == to:
+		return nil // idempotent
+	case e.state == Unused && (to == Mapped || to == Nailed):
+		// Fresh mapping or pinning an unused frame.
+	case e.state == Mapped && (to == Unused || to == Nailed):
+		// Unmapping, or pinning an already-mapped frame (nailed stretch
+		// drivers nail after mapping).
+	case e.state == Nailed && to == Unused:
+		// Unnailing is permitted only for the owner and is how a nailed
+		// driver winds down; mapping state is the caller's problem.
+	default:
+		return fmt.Errorf("%w: frame %d %s -> %s", ErrFrameBusy, pfn, e.state, to)
+	}
+	e.state = to
+	return nil
+}
+
+// OwnedBy returns all frames owned by domain, ascending.
+func (rt *RamTab) OwnedBy(domain DomainID) []PFN {
+	var out []PFN
+	for i, e := range rt.entries {
+		if e.state != Free && e.owner == domain {
+			out = append(out, PFN(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package mem
+
+import "fmt"
+
+// StackEntry is one frame on a domain's frame stack, together with the
+// local information stretch drivers store there (the paper notes the frame
+// stack "provides a useful place for stretch drivers to store local
+// information about mappings"): the virtual address the frame currently
+// backs, if any.
+type StackEntry struct {
+	PFN PFN
+	VA  uint64 // 0 when unmapped
+}
+
+// FrameStack is the system-allocated, application-writable structure
+// recording a domain's physical frames ordered by revocation preference:
+// index 0 is the top — the frame the domain is most prepared to lose. The
+// frames allocator always revokes from the top, so applications keep their
+// preferred revocation order by reordering the stack.
+type FrameStack struct {
+	entries []StackEntry
+}
+
+// Len returns the number of frames on the stack.
+func (st *FrameStack) Len() int { return len(st.entries) }
+
+// Entries returns the stack contents, top first. The slice is the live
+// backing store — the stack is application-writable by design.
+func (st *FrameStack) Entries() []StackEntry { return st.entries }
+
+// Top returns the top k entries (fewer if the stack is shorter).
+func (st *FrameStack) Top(k int) []StackEntry {
+	if k > len(st.entries) {
+		k = len(st.entries)
+	}
+	return st.entries[:k]
+}
+
+// index returns the position of pfn, or -1.
+func (st *FrameStack) index(pfn PFN) int {
+	for i, e := range st.entries {
+		if e.PFN == pfn {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether pfn is on the stack.
+func (st *FrameStack) Contains(pfn PFN) bool { return st.index(pfn) >= 0 }
+
+// PushTop adds a frame at the top (most revocable). Freshly allocated,
+// still-unused frames belong here.
+func (st *FrameStack) PushTop(pfn PFN) {
+	st.entries = append([]StackEntry{{PFN: pfn}}, st.entries...)
+}
+
+// PushBottom adds a frame at the bottom (least revocable).
+func (st *FrameStack) PushBottom(pfn PFN) {
+	st.entries = append(st.entries, StackEntry{PFN: pfn})
+}
+
+// Remove deletes pfn from the stack.
+func (st *FrameStack) Remove(pfn PFN) error {
+	i := st.index(pfn)
+	if i < 0 {
+		return fmt.Errorf("%w: %d not on stack", ErrBadFrame, pfn)
+	}
+	st.entries = append(st.entries[:i], st.entries[i+1:]...)
+	return nil
+}
+
+// MoveToTop makes pfn the most revocable frame.
+func (st *FrameStack) MoveToTop(pfn PFN) error {
+	i := st.index(pfn)
+	if i < 0 {
+		return fmt.Errorf("%w: %d not on stack", ErrBadFrame, pfn)
+	}
+	e := st.entries[i]
+	st.entries = append(st.entries[:i], st.entries[i+1:]...)
+	st.entries = append([]StackEntry{e}, st.entries...)
+	return nil
+}
+
+// MoveToBottom makes pfn the least revocable frame (e.g. just mapped hot).
+func (st *FrameStack) MoveToBottom(pfn PFN) error {
+	i := st.index(pfn)
+	if i < 0 {
+		return fmt.Errorf("%w: %d not on stack", ErrBadFrame, pfn)
+	}
+	e := st.entries[i]
+	st.entries = append(st.entries[:i], st.entries[i+1:]...)
+	st.entries = append(st.entries, e)
+	return nil
+}
+
+// SetVA records the virtual address pfn currently backs (0 = none). This is
+// the stretch-driver bookkeeping slot.
+func (st *FrameStack) SetVA(pfn PFN, va uint64) error {
+	i := st.index(pfn)
+	if i < 0 {
+		return fmt.Errorf("%w: %d not on stack", ErrBadFrame, pfn)
+	}
+	st.entries[i].VA = va
+	return nil
+}
+
+// VA returns the recorded virtual address for pfn.
+func (st *FrameStack) VA(pfn PFN) (uint64, error) {
+	i := st.index(pfn)
+	if i < 0 {
+		return 0, fmt.Errorf("%w: %d not on stack", ErrBadFrame, pfn)
+	}
+	return st.entries[i].VA, nil
+}
+
+// PopTop removes and returns the top entry.
+func (st *FrameStack) PopTop() (StackEntry, bool) {
+	if len(st.entries) == 0 {
+		return StackEntry{}, false
+	}
+	e := st.entries[0]
+	st.entries = st.entries[1:]
+	return e, true
+}

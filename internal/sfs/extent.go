@@ -1,0 +1,106 @@
+package sfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors returned by the extent allocator.
+var (
+	ErrNoSpace = errors.New("sfs: no free extent large enough")
+	ErrBadFree = errors.New("sfs: freeing blocks that are not allocated from this allocator")
+	ErrBadSize = errors.New("sfs: non-positive allocation size")
+)
+
+// span is a contiguous free range [start, start+count).
+type span struct {
+	start, count int64
+}
+
+// extentAllocator hands out contiguous block ranges first-fit from a fixed
+// region, coalescing on free. It backs SFS swap-file allocation.
+type extentAllocator struct {
+	base, size int64
+	free       []span // sorted by start, non-adjacent, non-overlapping
+}
+
+// newExtentAllocator manages [base, base+size).
+func newExtentAllocator(base, size int64) *extentAllocator {
+	return &extentAllocator{base: base, size: size, free: []span{{base, size}}}
+}
+
+// FreeBlocks returns the total number of unallocated blocks.
+func (a *extentAllocator) FreeBlocks() int64 {
+	var total int64
+	for _, s := range a.free {
+		total += s.count
+	}
+	return total
+}
+
+// LargestFree returns the size of the largest free extent.
+func (a *extentAllocator) LargestFree() int64 {
+	var best int64
+	for _, s := range a.free {
+		if s.count > best {
+			best = s.count
+		}
+	}
+	return best
+}
+
+// Alloc returns the start of a free extent of exactly count blocks,
+// first-fit.
+func (a *extentAllocator) Alloc(count int64) (int64, error) {
+	if count <= 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadSize, count)
+	}
+	for i := range a.free {
+		s := &a.free[i]
+		if s.count < count {
+			continue
+		}
+		start := s.start
+		s.start += count
+		s.count -= count
+		if s.count == 0 {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		}
+		return start, nil
+	}
+	return 0, fmt.Errorf("%w: want %d, largest %d", ErrNoSpace, count, a.LargestFree())
+}
+
+// Free returns [start, start+count) to the allocator, coalescing with
+// neighbours. Freeing a range that overlaps existing free space or lies
+// outside the managed region is an error.
+func (a *extentAllocator) Free(start, count int64) error {
+	if count <= 0 {
+		return fmt.Errorf("%w: count %d", ErrBadFree, count)
+	}
+	if start < a.base || start+count > a.base+a.size {
+		return fmt.Errorf("%w: [%d,+%d) outside [%d,+%d)", ErrBadFree, start, count, a.base, a.size)
+	}
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].start >= start })
+	// Overlap checks against neighbours.
+	if i < len(a.free) && start+count > a.free[i].start {
+		return fmt.Errorf("%w: overlaps free span at %d", ErrBadFree, a.free[i].start)
+	}
+	if i > 0 && a.free[i-1].start+a.free[i-1].count > start {
+		return fmt.Errorf("%w: overlaps free span at %d", ErrBadFree, a.free[i-1].start)
+	}
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = span{start, count}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(a.free) && a.free[i].start+a.free[i].count == a.free[i+1].start {
+		a.free[i].count += a.free[i+1].count
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].start+a.free[i-1].count == a.free[i].start {
+		a.free[i-1].count += a.free[i].count
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package sim
+
+import "time"
+
+// waiter pairs a parked process with the wake token it is expecting.
+type waiter struct {
+	p   *Proc
+	tok uint64
+}
+
+// Cond is a FIFO condition variable on the simulated timeline. Unlike
+// sync.Cond there is no associated lock: the process model guarantees mutual
+// exclusion already.
+type Cond struct {
+	sim     *Simulator
+	waiters []waiter
+}
+
+// NewCond returns a condition variable bound to s.
+func NewCond(s *Simulator) *Cond { return &Cond{sim: s} }
+
+// Waiting reports the number of processes currently parked on the condition.
+// Stale entries (woken by a timeout, killed) are excluded.
+func (c *Cond) Waiting() int {
+	n := 0
+	for _, w := range c.waiters {
+		if !w.p.done && w.tok == w.p.wakeSeq {
+			n++
+		}
+	}
+	return n
+}
+
+// Wait parks p until Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) {
+	tok := p.prepare()
+	c.waiters = append(c.waiters, waiter{p, tok})
+	p.park()
+}
+
+// WaitTimeout parks p until it is signalled or d elapses. It reports true if
+// the process was signalled, false on timeout.
+func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
+	tok := p.prepare()
+	c.waiters = append(c.waiters, waiter{p, tok})
+	signalled := true
+	timer := p.sim.At(p.sim.now.Add(d), func() {
+		if tok == p.wakeSeq && !p.done {
+			signalled = false
+			p.wake(tok)
+		}
+	})
+	p.park()
+	timer.Stop()
+	return signalled
+}
+
+// Signal wakes the longest-waiting live process, if any. The wakeup is
+// scheduled at the current instant so the signaller continues first (Mesa
+// semantics). It reports whether a process was woken.
+func (c *Cond) Signal() bool {
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.p.done || w.tok != w.p.wakeSeq {
+			continue // stale: timed out, killed, or rewoken elsewhere
+		}
+		tok := w.tok
+		proc := w.p
+		c.sim.At(c.sim.now, func() { proc.wake(tok) })
+		return true
+	}
+	return false
+}
+
+// Broadcast wakes every waiting process in FIFO order.
+func (c *Cond) Broadcast() int {
+	n := 0
+	for c.Signal() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCondSignalFIFO(t *testing.T) {
+	s := New(1)
+	c := NewCond(s)
+	var order []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		s.Spawn(name, func(p *Proc) {
+			c.Wait(p)
+			order = append(order, name)
+		})
+	}
+	s.At(Time(time.Millisecond), func() {
+		c.Signal()
+		c.Signal()
+		c.Signal()
+	})
+	s.RunUntilIdle(100)
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestCondSignalNoWaiters(t *testing.T) {
+	s := New(1)
+	c := NewCond(s)
+	if c.Signal() {
+		t.Fatal("Signal with no waiters reported true")
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	s := New(1)
+	c := NewCond(s)
+	woken := 0
+	for i := 0; i < 5; i++ {
+		s.Spawn("w", func(p *Proc) {
+			c.Wait(p)
+			woken++
+		})
+	}
+	var n int
+	s.At(Time(time.Millisecond), func() { n = c.Broadcast() })
+	s.RunUntilIdle(100)
+	if n != 5 || woken != 5 {
+		t.Fatalf("broadcast woke n=%d, ran=%d", n, woken)
+	}
+}
+
+func TestCondWaitTimeout(t *testing.T) {
+	s := New(1)
+	c := NewCond(s)
+	var signalled bool
+	var at Time
+	s.Spawn("w", func(p *Proc) {
+		signalled = c.WaitTimeout(p, 5*time.Millisecond)
+		at = p.Now()
+	})
+	s.RunUntilIdle(100)
+	if signalled {
+		t.Fatal("expected timeout")
+	}
+	if at != Time(5*time.Millisecond) {
+		t.Fatalf("timed out at %v", at)
+	}
+}
+
+func TestCondWaitTimeoutSignalledFirst(t *testing.T) {
+	s := New(1)
+	c := NewCond(s)
+	var signalled bool
+	s.Spawn("w", func(p *Proc) {
+		signalled = c.WaitTimeout(p, 5*time.Millisecond)
+	})
+	s.At(Time(time.Millisecond), func() { c.Signal() })
+	s.RunUntilIdle(100)
+	if !signalled {
+		t.Fatal("expected signal before timeout")
+	}
+}
+
+func TestCondTimedOutWaiterNotCounted(t *testing.T) {
+	s := New(1)
+	c := NewCond(s)
+	s.Spawn("w", func(p *Proc) {
+		c.WaitTimeout(p, time.Millisecond)
+		p.Sleep(time.Hour) // stays alive, but no longer waiting on c
+	})
+	s.Run(Time(10 * time.Millisecond))
+	if c.Waiting() != 0 {
+		t.Fatalf("Waiting = %d after timeout", c.Waiting())
+	}
+	// Signalling now must not wake the sleeper early.
+	if c.Signal() {
+		t.Fatal("Signal woke a stale waiter")
+	}
+}
+
+func TestCondSignalSkipsKilled(t *testing.T) {
+	s := New(1)
+	c := NewCond(s)
+	var ran []string
+	a := s.Spawn("a", func(p *Proc) { c.Wait(p); ran = append(ran, "a") })
+	s.Spawn("b", func(p *Proc) { c.Wait(p); ran = append(ran, "b") })
+	s.At(Time(time.Millisecond), func() { a.Kill() })
+	s.At(Time(2*time.Millisecond), func() { c.Signal() })
+	s.RunUntilIdle(100)
+	if len(ran) != 1 || ran[0] != "b" {
+		t.Fatalf("ran = %v, want [b]", ran)
+	}
+}
+
+func TestCondWaiting(t *testing.T) {
+	s := New(1)
+	c := NewCond(s)
+	for i := 0; i < 3; i++ {
+		s.Spawn("w", func(p *Proc) { c.Wait(p) })
+	}
+	s.Run(Time(time.Millisecond))
+	if c.Waiting() != 3 {
+		t.Fatalf("Waiting = %d, want 3", c.Waiting())
+	}
+	c.Broadcast()
+	s.RunUntilIdle(100)
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// killSentinel is the panic value used to unwind a killed process. It never
+// escapes the package: the process trampoline recovers it.
+type killSentinel struct{ name string }
+
+// ErrKilled is returned by blocking operations that can observe their own
+// process being killed (none currently do — kill unwinds the stack — but the
+// sentinel is exported as an error for tests that inspect termination).
+var ErrKilled = fmt.Errorf("sim: process killed")
+
+// Proc is a simulated process: a goroutine that runs only when the simulator
+// dispatches it and that returns control by blocking on one of the Proc
+// primitives (Sleep, Yield, Cond.Wait, ...). At most one Proc executes at any
+// moment.
+type Proc struct {
+	sim    *Simulator
+	name   string
+	sched  chan struct{} // scheduler -> process: run now
+	parked chan struct{} // process -> scheduler: parked (or exited)
+	done   bool
+	killed bool
+	// wakeSeq invalidates stale wakeups: every park increments it and a
+	// wakeup only dispatches if it carries the current value. This makes
+	// patterns like "wait with timeout" safe — the losing waker is a no-op.
+	wakeSeq uint64
+}
+
+// Spawn creates a process executing fn and schedules its first dispatch at
+// the current instant. fn runs entirely on the simulated timeline.
+func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		sim:    s,
+		name:   name,
+		sched:  make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	s.live++
+	go func() {
+		<-p.sched // wait for first dispatch
+		defer func() {
+			r := recover()
+			if r != nil {
+				if _, ok := r.(killSentinel); !ok {
+					// Re-panic genuine failures after marking the
+					// process dead so the scheduler is not wedged.
+					p.done = true
+					s.live--
+					close(p.parked)
+					panic(r)
+				}
+			}
+			p.done = true
+			s.live--
+			p.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	tok := p.prepare()
+	s.At(s.now, func() { p.wake(tok) })
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the owning simulator.
+func (p *Proc) Sim() *Simulator { return p.sim }
+
+// Now returns the current simulated instant.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Done reports whether the process has terminated.
+func (p *Proc) Done() bool { return p.done }
+
+// Killed reports whether the process was terminated by Kill.
+func (p *Proc) Killed() bool { return p.killed }
+
+// prepare arms the process for one wakeup and returns the token the waker
+// must present.
+func (p *Proc) prepare() uint64 {
+	p.wakeSeq++
+	return p.wakeSeq
+}
+
+// wake dispatches the process if tok is still current. Stale or post-mortem
+// wakeups are ignored. wake must be called from scheduler context (inside an
+// event callback), never from process context.
+func (p *Proc) wake(tok uint64) {
+	if p.done || tok != p.wakeSeq {
+		return
+	}
+	p.dispatch()
+}
+
+// dispatch hands the CPU to the process and blocks until it parks again.
+func (p *Proc) dispatch() {
+	prev := p.sim.current
+	p.sim.current = p
+	p.sched <- struct{}{}
+	<-p.parked
+	p.sim.current = prev
+}
+
+// park returns control to the scheduler. The caller must already have
+// arranged a wakeup (via prepare + some event calling wake).
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	<-p.sched
+	if p.killed {
+		panic(killSentinel{p.name})
+	}
+}
+
+// Sleep suspends the process for d of simulated time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	tok := p.prepare()
+	p.sim.At(p.sim.now.Add(d), func() { p.wake(tok) })
+	p.park()
+}
+
+// SleepUntil suspends the process until instant t (or returns immediately if
+// t is not in the future).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.sim.now {
+		return
+	}
+	p.Sleep(t.Sub(p.sim.now))
+}
+
+// Yield reschedules the process after all events already queued for the
+// current instant.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Kill terminates the process: the next time it would run it unwinds
+// instead. Killing an already-finished process is a no-op. A process may
+// kill itself, in which case it unwinds immediately.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	if p.sim.current == p {
+		panic(killSentinel{p.name})
+	}
+	// Invalidate whatever wakeup the process was waiting for and dispatch
+	// it so park() observes the kill.
+	tok := p.prepare()
+	p.sim.At(p.sim.now, func() { p.wake(tok) })
+}

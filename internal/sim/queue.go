@@ -1,0 +1,111 @@
+package sim
+
+// Queue is a bounded FIFO on the simulated timeline, analogous to a Go
+// channel but synchronised through the simulator. It backs the Nemesis "IO
+// channels" (the rbufs-like FIFO buffering between USD clients and the USD).
+type Queue[T any] struct {
+	sim      *Simulator
+	cap      int
+	items    []T
+	notEmpty *Cond
+	notFull  *Cond
+	closed   bool
+}
+
+// NewQueue returns a queue holding at most capacity items. capacity must be
+// at least 1.
+func NewQueue[T any](s *Simulator, capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue[T]{
+		sim:      s,
+		cap:      capacity,
+		notEmpty: NewCond(s),
+		notFull:  NewCond(s),
+	}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Close marks the queue closed and wakes all waiters. Sends to a closed
+// queue report failure; receives drain remaining items then report failure.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Send enqueues v, blocking p while the queue is full. It reports false if
+// the queue was closed before the item could be enqueued.
+func (q *Queue[T]) Send(p *Proc, v T) bool {
+	for len(q.items) >= q.cap && !q.closed {
+		q.notFull.Wait(p)
+	}
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Signal()
+	return true
+}
+
+// TrySend enqueues v without blocking; it reports whether the item was
+// accepted.
+func (q *Queue[T]) TrySend(v T) bool {
+	if q.closed || len(q.items) >= q.cap {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Signal()
+	return true
+}
+
+// Recv dequeues the oldest item, blocking p while the queue is empty. It
+// reports false when the queue is closed and drained.
+func (q *Queue[T]) Recv(p *Proc) (T, bool) {
+	for len(q.items) == 0 && !q.closed {
+		q.notEmpty.Wait(p)
+	}
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	q.notFull.Signal()
+	return v, true
+}
+
+// TryRecv dequeues without blocking; ok reports whether an item was present.
+func (q *Queue[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	q.notFull.Signal()
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.items[0], true
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// event is a scheduled callback. Events with equal time fire in the order
+// they were scheduled (seq breaks ties), which makes the whole simulation
+// deterministic.
+type event struct {
+	t    Time
+	seq  uint64
+	fn   func()
+	dead bool // cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// Simulator owns the simulated clock and the event queue. It is not safe for
+// use from multiple goroutines except through the process model, which
+// guarantees only one goroutine touches it at a time.
+type Simulator struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	current *Proc // process currently executing, if any
+	live    int   // spawned processes that have not yet finished
+
+	// Trace, when non-nil, receives a line for every dispatched event.
+	// Used only by tests and debugging tools.
+	Trace func(t Time, what string)
+}
+
+// New returns a simulator whose random source is seeded with seed. The same
+// seed always yields the same execution.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated instant.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Live reports the number of spawned processes that have not terminated.
+func (s *Simulator) Live() int { return s.live }
+
+// Current returns the process currently executing, or nil when the
+// scheduler (an event callback) is running.
+func (s *Simulator) Current() *Proc { return s.current }
+
+// Pending reports the number of events still queued (including cancelled
+// placeholders not yet popped).
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Timer identifies a scheduled event and allows cancellation.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer if it has not fired. It reports whether the timer
+// was still pending.
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// At schedules fn to run at instant t. Scheduling in the past is an error in
+// the caller; the event is clamped to "now" to keep time monotonic.
+func (s *Simulator) At(t Time, fn func()) Timer {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	ev := &event{t: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, ev)
+	return Timer{ev}
+}
+
+// After schedules fn to run d after the current instant.
+func (s *Simulator) After(d time.Duration, fn func()) Timer {
+	return s.At(s.now.Add(d), fn)
+}
+
+// step pops and runs the next event. It reports false when the queue is
+// empty or the next event lies beyond limit.
+func (s *Simulator) step(limit Time) bool {
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.t > limit {
+			return false
+		}
+		heap.Pop(&s.events)
+		if next.t > s.now {
+			s.now = next.t
+		}
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is exhausted or the clock would pass
+// until. On return the clock reads min(until, time of last event run), and
+// is advanced to until if the queue drained earlier.
+func (s *Simulator) Run(until Time) {
+	for s.step(until) {
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunFor runs the simulation for duration d from the current instant.
+func (s *Simulator) RunFor(d time.Duration) { s.Run(s.now.Add(d)) }
+
+// RunUntilIdle executes events until none remain. It panics if the
+// simulation exceeds maxEvents dispatches, which indicates a runaway loop.
+func (s *Simulator) RunUntilIdle(maxEvents int) {
+	for i := 0; ; i++ {
+		if i > maxEvents {
+			panic(fmt.Sprintf("sim: RunUntilIdle exceeded %d events at t=%v", maxEvents, s.now))
+		}
+		if !s.step(Time(1<<62 - 1)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package stretchdrv
+
+import "testing"
+
+func BenchmarkBlokAllocFree(b *testing.B) {
+	a := NewBlokAllocator(2048, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		idx, err := a.Alloc()
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.FreeBlok(idx)
+	}
+}
+
+func BenchmarkBlokAllocChurn(b *testing.B) {
+	// Fill, then churn the middle: exercises the hint pointer.
+	a := NewBlokAllocator(2048, 16)
+	for i := 0; i < 2048; i++ {
+		a.Alloc()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := int64(1024 + i%512)
+		a.FreeBlok(idx)
+		got, err := a.Alloc()
+		if err != nil || got != idx {
+			b.Fatalf("alloc = %d, %v", got, err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package stretchdrv implements the paper's three stretch drivers — nailed,
+// physical and paged — plus the blok-based swap-space allocator the paged
+// driver keeps its on-disk state in. Stretch drivers are unprivileged,
+// application-level objects: they acquire and manage their own physical
+// frames and set up virtual-to-physical mappings by invoking the (validated)
+// low-level translation system.
+package stretchdrv
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// ErrNoBloks is returned when the swap space is exhausted.
+var ErrNoBloks = errors.New("stretchdrv: no free bloks")
+
+// bitmapNode is one element of the singly linked list of bitmap structures
+// the paged driver tracks swap space with. Each node covers a contiguous
+// range of bloks; a set bit means free.
+type bitmapNode struct {
+	base  int64 // first blok index covered
+	bits  []uint64
+	nfree int
+	next  *bitmapNode
+}
+
+// BlokAllocator allocates bloks — contiguous sets of disk blocks, each a
+// multiple of the page size — first fit, with a hint pointer to the
+// earliest structure known to have free bloks (exactly the paper's scheme).
+type BlokAllocator struct {
+	blokBlocks int64 // disk blocks per blok
+	total      int64
+	head       *bitmapNode
+	hint       *bitmapNode
+}
+
+// nodeBloks is how many bloks each bitmap structure covers.
+const nodeBloks = 512
+
+// NewBlokAllocator manages total bloks of blokBlocks disk blocks each.
+func NewBlokAllocator(total, blokBlocks int64) *BlokAllocator {
+	a := &BlokAllocator{blokBlocks: blokBlocks, total: total}
+	var tail *bitmapNode
+	for base := int64(0); base < total; base += nodeBloks {
+		n := int64(nodeBloks)
+		if base+n > total {
+			n = total - base
+		}
+		node := &bitmapNode{base: base, bits: make([]uint64, (n+63)/64), nfree: int(n)}
+		for i := int64(0); i < n; i++ {
+			node.bits[i/64] |= 1 << (i % 64)
+		}
+		if tail == nil {
+			a.head = node
+		} else {
+			tail.next = node
+		}
+		tail = node
+	}
+	a.hint = a.head
+	return a
+}
+
+// BlokBlocks returns the number of disk blocks per blok.
+func (a *BlokAllocator) BlokBlocks() int64 { return a.blokBlocks }
+
+// Total returns the number of bloks managed.
+func (a *BlokAllocator) Total() int64 { return a.total }
+
+// Free returns the number of free bloks.
+func (a *BlokAllocator) Free() int64 {
+	var n int64
+	for node := a.head; node != nil; node = node.next {
+		n += int64(node.nfree)
+	}
+	return n
+}
+
+// Alloc returns the index of a free blok, first fit starting from the hint
+// structure.
+func (a *BlokAllocator) Alloc() (int64, error) {
+	for node := a.hint; node != nil; node = node.next {
+		if node.nfree == 0 {
+			continue
+		}
+		for w, word := range node.bits {
+			if word == 0 {
+				continue
+			}
+			bit := bits.TrailingZeros64(word)
+			node.bits[w] &^= 1 << bit
+			node.nfree--
+			a.hint = node
+			return node.base + int64(w*64+bit), nil
+		}
+	}
+	// The hint may have skipped earlier structures freed since; rescan
+	// from the head once before giving up.
+	if a.hint != a.head {
+		a.hint = a.head
+		return a.Alloc()
+	}
+	return 0, ErrNoBloks
+}
+
+// FreeBlok returns blok idx to the allocator and moves the hint back if
+// this structure now precedes it.
+func (a *BlokAllocator) FreeBlok(idx int64) {
+	for node := a.head; node != nil; node = node.next {
+		if idx < node.base || idx >= node.base+int64(len(node.bits)*64) {
+			continue
+		}
+		off := idx - node.base
+		mask := uint64(1) << (off % 64)
+		if node.bits[off/64]&mask != 0 {
+			return // already free
+		}
+		node.bits[off/64] |= mask
+		node.nfree++
+		if node.base < a.hint.base {
+			a.hint = node
+		}
+		return
+	}
+}
+
+// BlockOffset converts a blok index to its first disk block within the
+// swap file.
+func (a *BlokAllocator) BlockOffset(idx int64) int64 { return idx * a.blokBlocks }

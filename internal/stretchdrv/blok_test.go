@@ -1,0 +1,135 @@
+package stretchdrv
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlokAllocBasics(t *testing.T) {
+	a := NewBlokAllocator(100, 16)
+	if a.Total() != 100 || a.Free() != 100 || a.BlokBlocks() != 16 {
+		t.Fatalf("total=%d free=%d bb=%d", a.Total(), a.Free(), a.BlokBlocks())
+	}
+	// First fit: sequential allocation from zero.
+	for i := int64(0); i < 5; i++ {
+		got, err := a.Alloc()
+		if err != nil || got != i {
+			t.Fatalf("alloc %d = %d, %v", i, got, err)
+		}
+	}
+	if a.Free() != 95 {
+		t.Fatalf("free = %d", a.Free())
+	}
+	if a.BlockOffset(3) != 48 {
+		t.Fatalf("BlockOffset = %d", a.BlockOffset(3))
+	}
+}
+
+func TestBlokFreeAndReuse(t *testing.T) {
+	a := NewBlokAllocator(10, 16)
+	for i := 0; i < 10; i++ {
+		a.Alloc()
+	}
+	if _, err := a.Alloc(); !errors.Is(err, ErrNoBloks) {
+		t.Fatalf("err = %v", err)
+	}
+	a.FreeBlok(4)
+	a.FreeBlok(2)
+	// First fit: earliest free blok is 2.
+	got, err := a.Alloc()
+	if err != nil || got != 2 {
+		t.Fatalf("alloc after free = %d, %v", got, err)
+	}
+	got, _ = a.Alloc()
+	if got != 4 {
+		t.Fatalf("second alloc = %d", got)
+	}
+	// Double free is a no-op.
+	a.FreeBlok(4)
+	first, _ := a.Alloc()
+	if first != 4 {
+		t.Fatalf("alloc = %d", first)
+	}
+	if _, err := a.Alloc(); !errors.Is(err, ErrNoBloks) {
+		t.Fatal("allocator double-counted a freed blok")
+	}
+}
+
+func TestBlokMultipleNodes(t *testing.T) {
+	// More bloks than one bitmap structure covers: the linked list and
+	// hint pointer come into play.
+	total := int64(nodeBloks*2 + 37)
+	a := NewBlokAllocator(total, 16)
+	seen := make(map[int64]bool)
+	for i := int64(0); i < total; i++ {
+		got, err := a.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if seen[got] {
+			t.Fatalf("duplicate blok %d", got)
+		}
+		seen[got] = true
+	}
+	if _, err := a.Alloc(); !errors.Is(err, ErrNoBloks) {
+		t.Fatal("over-allocation")
+	}
+	// Free one in the first structure; hint must move back.
+	a.FreeBlok(7)
+	got, err := a.Alloc()
+	if err != nil || got != 7 {
+		t.Fatalf("alloc = %d, %v", got, err)
+	}
+}
+
+func TestBlokHintRescan(t *testing.T) {
+	a := NewBlokAllocator(nodeBloks*2, 16)
+	// Drain the first node so hint advances.
+	for i := 0; i < nodeBloks+1; i++ {
+		a.Alloc()
+	}
+	// Free an early blok; alloc must find it even though hint is ahead.
+	a.FreeBlok(0)
+	got, err := a.Alloc()
+	if err != nil || got != 0 {
+		t.Fatalf("alloc = %d, %v (hint rescan failed)", got, err)
+	}
+}
+
+// Property: alloc/free sequences conserve bloks: no double allocation, free
+// count always total - live.
+func TestBlokAllocatorProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := NewBlokAllocator(257, 16) // spans non-word-aligned tail
+		live := map[int64]bool{}
+		for _, op := range ops {
+			if op%3 != 0 {
+				idx, err := a.Alloc()
+				if err != nil {
+					if int64(len(live)) != 257 {
+						return false
+					}
+					continue
+				}
+				if live[idx] || idx < 0 || idx >= 257 {
+					return false
+				}
+				live[idx] = true
+			} else {
+				for idx := range live {
+					a.FreeBlok(idx)
+					delete(live, idx)
+					break
+				}
+			}
+			if a.Free() != 257-int64(len(live)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+package stretchdrv_test
+
+// Driver behaviour tests, in an external test package so the rig can use
+// the core facade (core imports stretchdrv; external test packages may
+// close that loop).
+
+import (
+	"testing"
+	"time"
+
+	"nemesis/internal/atropos"
+	"nemesis/internal/core"
+	"nemesis/internal/domain"
+	"nemesis/internal/mem"
+	"nemesis/internal/stretchdrv"
+	"nemesis/internal/vm"
+)
+
+func cpuQ() atropos.QoS {
+	return atropos.QoS{P: 100 * time.Millisecond, S: 30 * time.Millisecond, X: true}
+}
+
+func diskQ() atropos.QoS {
+	return atropos.QoS{P: 250 * time.Millisecond, S: 150 * time.Millisecond, X: true, L: 10 * time.Millisecond}
+}
+
+func rig(frames int) *core.System {
+	cfg := core.DefaultConfig()
+	cfg.MemoryFrames = 256
+	return core.New(cfg)
+}
+
+func TestPagedDriverStatesAndCounters(t *testing.T) {
+	sys := rig(256)
+	d, _ := sys.NewDomain("app", cpuQ(), mem.Contract{Guaranteed: 2})
+	st, drv, err := sys.NewPagedStretch(d, 8*vm.PageSize, 32*vm.PageSize, diskQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drv.DriverName() != "paged" {
+		t.Fatalf("name = %q", drv.DriverName())
+	}
+	if drv.SwapFreeBloks() != 32 {
+		t.Fatalf("free bloks = %d", drv.SwapFreeBloks())
+	}
+	d.Go("main", func(th *domain.Thread) {
+		core.PreallocateFrames(th, 2)
+		// Two passes: first writes (dirty), second reads (page-ins).
+		th.Touch(st.Base(), 8*vm.PageSize, vm.AccessWrite)
+		th.Touch(st.Base(), 8*vm.PageSize, vm.AccessRead)
+	})
+	sys.Run(30 * time.Second)
+	s := drv.Stats
+	if s.ZeroFills != 8 {
+		t.Fatalf("zero fills = %d, want 8 (one per fresh page)", s.ZeroFills)
+	}
+	if s.PageOuts < 6 || s.PageIns < 6 {
+		t.Fatalf("outs=%d ins=%d", s.PageOuts, s.PageIns)
+	}
+	if s.Evictions < s.PageOuts {
+		t.Fatalf("evictions=%d < pageouts=%d", s.Evictions, s.PageOuts)
+	}
+	if drv.ResidentPages() != 2 {
+		t.Fatalf("resident = %d with 2 frames", drv.ResidentPages())
+	}
+	// Swap bloks were allocated lazily, only for evicted pages.
+	if free := drv.SwapFreeBloks(); free != 32-8 {
+		t.Fatalf("free bloks = %d, want 24", free)
+	}
+	sys.Shutdown()
+	sys.RunUntilIdle(1 << 22)
+}
+
+func TestPagedFaultOutsideStretchFails(t *testing.T) {
+	sys := rig(64)
+	d, _ := sys.NewDomain("app", cpuQ(), mem.Contract{Guaranteed: 2})
+	st, drv, _ := sys.NewPagedStretch(d, 2*vm.PageSize, 8*vm.PageSize, diskQ())
+	other, _ := d.NewStretch(vm.PageSize)
+	done := false
+	// Direct driver invocation with a foreign fault.
+	d.Go("probe", func(th *domain.Thread) {
+		res := drv.SatisfyFault(th.Proc(), &vm.Fault{VA: other.Base(), Class: vm.PageFault, SID: other.ID()}, true)
+		if res != domain.Failure {
+			t.Errorf("foreign fault result = %v", res)
+		}
+		res = drv.SatisfyFault(th.Proc(), &vm.Fault{VA: st.Base(), Class: vm.ProtectionFault, SID: st.ID()}, true)
+		if res != domain.Failure {
+			t.Errorf("protection fault result = %v", res)
+		}
+		done = true
+	})
+	sys.Run(time.Second)
+	if !done {
+		t.Fatal("probe incomplete")
+	}
+	sys.Shutdown()
+	sys.RunUntilIdle(1 << 20)
+}
+
+func TestPagedRelinquishCleansAndFrees(t *testing.T) {
+	sys := rig(64)
+	d, _ := sys.NewDomain("app", cpuQ(), mem.Contract{Guaranteed: 8})
+	st, drv, _ := sys.NewPagedStretch(d, 8*vm.PageSize, 32*vm.PageSize, diskQ())
+	freed := -1
+	d.Go("main", func(th *domain.Thread) {
+		core.PreallocateFrames(th, 8)
+		th.Touch(st.Base(), 6*vm.PageSize, vm.AccessWrite) // 6 dirty, 2 unused
+		freed = drv.Relinquish(th.Proc(), 4)
+	})
+	sys.Run(20 * time.Second)
+	if freed != 4 {
+		t.Fatalf("relinquished %d, want 4", freed)
+	}
+	// 2 came from the unused pool; 2 required cleaning dirty pages.
+	if drv.Stats.PageOuts < 2 {
+		t.Fatalf("pageouts = %d", drv.Stats.PageOuts)
+	}
+	// The freed frames sit unused at the top of the stack.
+	top := d.MemClient().Stack().Top(4)
+	for _, e := range top {
+		if s, _ := sys.RamTab.State(e.PFN); s != mem.Unused {
+			t.Fatalf("top-of-stack frame %d is %v", e.PFN, s)
+		}
+	}
+	sys.Shutdown()
+	sys.RunUntilIdle(1 << 22)
+}
+
+func TestSecondChanceSparesCounter(t *testing.T) {
+	sys := rig(64)
+	d, _ := sys.NewDomain("app", cpuQ(), mem.Contract{Guaranteed: 2})
+	st, drv, _ := sys.NewPagedStretch(d, 6*vm.PageSize, 32*vm.PageSize, diskQ())
+	drv.SecondChance = true
+	d.Go("main", func(th *domain.Thread) {
+		core.PreallocateFrames(th, 2)
+		for pass := 0; pass < 4; pass++ {
+			th.Touch(st.Base(), 6*vm.PageSize, vm.AccessRead)
+		}
+	})
+	sys.Run(30 * time.Second)
+	if drv.Stats.Spares == 0 {
+		t.Fatal("second chance never spared a page")
+	}
+	sys.Shutdown()
+	sys.RunUntilIdle(1 << 22)
+}
+
+func TestNailedDriverBehaviour(t *testing.T) {
+	sys := rig(64)
+	d, _ := sys.NewDomain("app", cpuQ(), mem.Contract{Guaranteed: 4})
+	var drv *stretchdrv.Nailed
+	d.Go("main", func(th *domain.Thread) {
+		var err error
+		_, drv, err = sys.NewNailedStretch(th, 2*vm.PageSize)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if drv.DriverName() != "nailed" {
+			t.Errorf("name = %q", drv.DriverName())
+		}
+		// Nailed frames are immune to relinquish.
+		if got := drv.Relinquish(th.Proc(), 2); got != 0 {
+			t.Errorf("relinquish = %d", got)
+		}
+		// A fault reaching a nailed driver is unresolvable.
+		if res := drv.SatisfyFault(th.Proc(), &vm.Fault{Class: vm.PageFault}, true); res != domain.Failure {
+			t.Errorf("fault result = %v", res)
+		}
+	})
+	sys.Run(5 * time.Second)
+	if drv == nil {
+		t.Fatal("driver not created")
+	}
+	sys.Shutdown()
+	sys.RunUntilIdle(1 << 20)
+}
+
+func TestPhysicalDriverRelinquishOnlyUnused(t *testing.T) {
+	sys := rig(64)
+	d, _ := sys.NewDomain("app", cpuQ(), mem.Contract{Guaranteed: 6})
+	st, drv, _ := sys.NewPhysicalStretch(d, 4*vm.PageSize)
+	var got int
+	d.Go("main", func(th *domain.Thread) {
+		core.PreallocateFrames(th, 6)
+		th.Touch(st.Base(), 4*vm.PageSize, vm.AccessWrite) // 4 mapped, 2 unused
+		got = drv.Relinquish(th.Proc(), 6)
+	})
+	sys.Run(5 * time.Second)
+	// Physical drivers have no backing store: only the 2 unused frames can
+	// be given up; mapped data would be lost.
+	if got != 2 {
+		t.Fatalf("relinquish = %d, want 2", got)
+	}
+	sys.Shutdown()
+	sys.RunUntilIdle(1 << 20)
+}
+
+func TestStreamingDriverBasics(t *testing.T) {
+	sys := rig(256)
+	d, _ := sys.NewDomain("app", cpuQ(), mem.Contract{Guaranteed: 12})
+	st, drv, err := sys.NewStreamingStretch(d, 32*vm.PageSize, 64*vm.PageSize,
+		diskQ(), atropos.QoS{P: 250 * time.Millisecond, S: 50 * time.Millisecond, X: true, L: 10 * time.Millisecond}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drv.DriverName() != "streaming" {
+		t.Fatalf("name = %q", drv.DriverName())
+	}
+	verified := false
+	d.Go("main", func(th *domain.Thread) {
+		core.PreallocateFrames(th, 12)
+		// Write all pages out, then stream them back twice.
+		buf := make([]byte, vm.PageSize)
+		for pg := 0; pg < 32; pg++ {
+			for i := range buf {
+				buf[i] = byte(pg ^ i)
+			}
+			if err := th.WriteAt(st.PageBase(pg), buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		for pass := 0; pass < 2; pass++ {
+			for pg := 0; pg < 32; pg++ {
+				if err := th.ReadAt(st.PageBase(pg), buf); err != nil {
+					t.Error(err)
+					return
+				}
+				for i := range buf {
+					if buf[i] != byte(pg^i) {
+						t.Errorf("pass %d page %d corrupted", pass, pg)
+						return
+					}
+				}
+			}
+		}
+		verified = true
+	})
+	sys.Run(60 * time.Second)
+	if !verified {
+		t.Fatal("stream verification incomplete")
+	}
+	if drv.Prefetches == 0 {
+		t.Fatal("no prefetches on a sequential scan")
+	}
+	sys.Shutdown()
+	sys.RunUntilIdle(1 << 22)
+}

@@ -1,0 +1,237 @@
+package stretchdrv
+
+import (
+	"nemesis/internal/disk"
+	"nemesis/internal/domain"
+	"nemesis/internal/mem"
+	"nemesis/internal/sfs"
+	"nemesis/internal/sim"
+	"nemesis/internal/vm"
+)
+
+// pageInfo is the paged driver's per-page record.
+type pageInfo struct {
+	blok   int64 // allocated swap blok, or -1
+	onDisk bool  // swap copy is current
+}
+
+// PagedStats counts paging activity.
+type PagedStats struct {
+	Faults     int64
+	FastFaults int64
+	PageIns    int64
+	PageOuts   int64
+	Evictions  int64
+	ZeroFills  int64
+	// Spares counts pages the second-chance policy re-queued instead of
+	// evicting.
+	Spares int64
+}
+
+// Paged extends the physical driver with a binding to the User-Safe
+// Backing Store: it may swap pages out to its swap file and page them back
+// in on demand. Swap space is tracked as a bitmap of bloks. The scheme is
+// fairly pure demand paging: no pre-paging, eviction only when a fault
+// finds no free frame.
+type Paged struct {
+	base
+	st   *vm.Stretch
+	swap *sfs.SwapFile
+	blok *BlokAllocator
+
+	pages map[vm.VPN]*pageInfo
+	// fifo orders mapped pages for eviction, oldest first.
+	fifo []vm.VA
+
+	// SecondChance, when set, skips (and re-queues) referenced pages once
+	// before evicting — the classic improvement the paper leaves open.
+	SecondChance bool
+	// Forgetful makes the driver "forget" that pages have a copy on disk,
+	// so it never pages in — the modified driver of the paper's page-out
+	// experiment (Fig. 8).
+	Forgetful bool
+
+	Stats PagedStats
+}
+
+// NewPaged creates a paged stretch driver for st, swapping to swap, and
+// binds it. Each blok holds exactly one page.
+func NewPaged(dom *domain.Domain, st *vm.Stretch, swap *sfs.SwapFile) *Paged {
+	blokBlocks := int64(vm.PageSize / disk.BlockSize)
+	d := &Paged{
+		base:  base{dom: dom},
+		st:    st,
+		swap:  swap,
+		blok:  NewBlokAllocator(swap.Blocks()/blokBlocks, blokBlocks),
+		pages: make(map[vm.VPN]*pageInfo),
+	}
+	dom.Bind(st, d)
+	return d
+}
+
+// DriverName implements domain.Driver.
+func (d *Paged) DriverName() string { return "paged" }
+
+// Swap exposes the backing swap file.
+func (d *Paged) Swap() *sfs.SwapFile { return d.swap }
+
+// info returns (creating if needed) the record for the page at va.
+func (d *Paged) info(va vm.VA) *pageInfo {
+	vpn := vm.PageOf(va)
+	pi, ok := d.pages[vpn]
+	if !ok {
+		pi = &pageInfo{blok: -1}
+		d.pages[vpn] = pi
+	}
+	return pi
+}
+
+// SatisfyFault implements domain.Driver. The fast path handles only
+// demand-zero faults with a free frame in hand; anything touching the disk
+// (eviction write-back, page-in) needs a worker thread, since IDC to the
+// USD is impossible inside a notification handler.
+func (d *Paged) SatisfyFault(p *sim.Proc, f *vm.Fault, canIDC bool) domain.Result {
+	d.Stats.Faults++
+	if f.Class != vm.PageFault || !d.st.Contains(f.VA) {
+		return domain.Failure
+	}
+	va := vm.PageOf(f.VA).Base()
+	pi := d.info(va)
+	needsPageIn := pi.onDisk && !d.Forgetful
+
+	pfn, haveFrame := d.findUnusedFrame()
+	if !canIDC {
+		if !haveFrame || needsPageIn {
+			return domain.Retry
+		}
+		d.Stats.FastFaults++
+	}
+
+	if !haveFrame {
+		// Try the allocator first (it may have optimistic frames for
+		// us); fall back to evicting one of our own pages.
+		if newPFN, err := d.memc().TryAllocFrame(); err == nil {
+			pfn, haveFrame = newPFN, true
+		} else {
+			evicted, err := d.evictOne(p)
+			if err != nil {
+				return domain.Failure
+			}
+			pfn, haveFrame = evicted, true
+		}
+	}
+
+	if needsPageIn {
+		buf := make([]byte, vm.PageSize)
+		off := d.blok.BlockOffset(pi.blok)
+		if err := d.swap.Read(p, off, int(d.blok.BlokBlocks()), buf); err != nil {
+			return domain.Failure
+		}
+		copy(d.env().Store.Frame(pfn), buf)
+		d.Stats.PageIns++
+	} else {
+		d.env().Store.Zero(pfn)
+		d.Stats.ZeroFills++
+	}
+
+	if err := d.mapFrame(va, pfn); err != nil {
+		return domain.Failure
+	}
+	d.fifo = append(d.fifo, va)
+	// The mapping is fresh: the in-memory copy will diverge on first
+	// write (FOW bit tracks that); the disk copy remains valid until
+	// then, but we keep it simple and treat memory as authoritative:
+	// onDisk stays true so an unmodified page needs no write-back.
+	return domain.Success
+}
+
+// pickVictim removes and returns the next eviction victim from the FIFO,
+// honouring second chance if enabled.
+func (d *Paged) pickVictim() (vm.VA, bool) {
+	passes := 0
+	for len(d.fifo) > 0 && passes < 2*len(d.fifo)+2 {
+		va := d.fifo[0]
+		d.fifo = d.fifo[1:]
+		if d.SecondChance {
+			if ref, err := d.env().TS.IsReferenced(va); err == nil && ref {
+				// Give it a second chance: clear by re-arming FOR via
+				// the paged driver's own bookkeeping and re-queue.
+				if pte := d.env().TS.PageTable().Lookup(vm.PageOf(va)); pte != nil {
+					pte.Referenced = false
+					pte.Attr.FOR = true
+				}
+				d.fifo = append(d.fifo, va)
+				d.Stats.Spares++
+				passes++
+				continue
+			}
+		}
+		return va, true
+	}
+	if len(d.fifo) > 0 {
+		va := d.fifo[0]
+		d.fifo = d.fifo[1:]
+		return va, true
+	}
+	return 0, false
+}
+
+// evictOne unmaps a victim page, writing it to swap if dirty, and returns
+// the freed frame. Runs only in worker context (disk IDC).
+func (d *Paged) evictOne(p *sim.Proc) (mem.PFN, error) {
+	va, ok := d.pickVictim()
+	if !ok {
+		return 0, ErrNoBloks // no pages to evict: cannot proceed
+	}
+	pfn, dirty, err := d.unmapVA(va)
+	if err != nil {
+		return 0, err
+	}
+	pi := d.info(va)
+	if dirty || !pi.onDisk {
+		if pi.blok < 0 {
+			blok, err := d.blok.Alloc()
+			if err != nil {
+				return 0, err
+			}
+			pi.blok = blok
+		}
+		buf := make([]byte, vm.PageSize)
+		copy(buf, d.env().Store.Frame(pfn))
+		off := d.blok.BlockOffset(pi.blok)
+		if err := d.swap.Write(p, off, int(d.blok.BlokBlocks()), buf); err != nil {
+			return 0, err
+		}
+		pi.onDisk = true
+		d.Stats.PageOuts++
+	}
+	d.Stats.Evictions++
+	return pfn, nil
+}
+
+// Relinquish implements domain.Driver: free unused frames first, then clean
+// and evict mapped pages, leaving the freed frames at the top of the stack
+// for the allocator to reclaim.
+func (d *Paged) Relinquish(p *sim.Proc, k int) int {
+	claimed := make(map[mem.PFN]bool)
+	for len(claimed) < k {
+		if pfn, ok := d.findUnusedFrameExcept(claimed); ok {
+			claimed[pfn] = true
+			d.stack().MoveToTop(pfn)
+			continue
+		}
+		pfn, err := d.evictOne(p)
+		if err != nil {
+			break
+		}
+		claimed[pfn] = true
+		d.stack().MoveToTop(pfn)
+	}
+	return len(claimed)
+}
+
+// ResidentPages returns the number of currently mapped pages.
+func (d *Paged) ResidentPages() int { return len(d.fifo) }
+
+// SwapFreeBloks returns the unallocated swap capacity in bloks.
+func (d *Paged) SwapFreeBloks() int64 { return d.blok.Free() }

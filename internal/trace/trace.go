@@ -1,0 +1,329 @@
+// Package trace collects the structured logs the paper's figures are built
+// from: USD scheduler traces (Figs. 7–8 bottom), bandwidth progress series
+// (Figs. 7–9 top), and summary statistics. Rendering is plain TSV so the
+// output of the cmd/ tools can be dropped straight into a plotting pipeline.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"nemesis/internal/sim"
+)
+
+// EventKind classifies a scheduler trace record.
+type EventKind uint8
+
+const (
+	// Transaction records one disk transaction performed on behalf of a
+	// client; Start..End spans the transaction (the filled boxes in the
+	// paper's trace plots).
+	Transaction EventKind = iota
+	// Lax records time a client spent on the runnable queue with no work
+	// pending that was nonetheless charged to it (the solid lines between
+	// transactions in the paper's plots).
+	Lax
+	// Allocation records a period boundary at which the client received a
+	// fresh slice allocation (the small arrows in the paper's plots).
+	Allocation
+	// Slack records transaction time granted out of schedule slack to an
+	// x=true client (optimistic time, not charged against the guarantee).
+	Slack
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Transaction:
+		return "txn"
+	case Lax:
+		return "lax"
+	case Allocation:
+		return "alloc"
+	case Slack:
+		return "slack"
+	default:
+		return fmt.Sprintf("kind(%d)", k)
+	}
+}
+
+// Event is one scheduler trace record.
+type Event struct {
+	Kind   EventKind
+	Client string
+	Start  sim.Time
+	End    sim.Time // == Start for instantaneous records (Allocation)
+}
+
+// Log accumulates scheduler events. The zero value is ready to use; a nil
+// *Log discards everything, so instrumented code does not need nil checks.
+type Log struct {
+	events []Event
+}
+
+// Add appends an event. Safe on a nil receiver.
+func (l *Log) Add(e Event) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, e)
+}
+
+// Events returns the recorded events in insertion order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Between returns events overlapping [from, to).
+func (l *Log) Between(from, to sim.Time) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.events {
+		if e.End >= from && e.Start < to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByClient returns events for one client in insertion order.
+func (l *Log) ByClient(name string) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.events {
+		if e.Client == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TotalBusy sums transaction time per client over [from, to), clipping
+// events at the window edges.
+func (l *Log) TotalBusy(from, to sim.Time) map[string]float64 {
+	out := make(map[string]float64)
+	if l == nil {
+		return out
+	}
+	for _, e := range l.events {
+		if e.Kind != Transaction && e.Kind != Slack {
+			continue
+		}
+		s, t := e.Start, e.End
+		if s < from {
+			s = from
+		}
+		if t > to {
+			t = to
+		}
+		if t > s {
+			out[e.Client] += t.Sub(s).Seconds()
+		}
+	}
+	return out
+}
+
+// MaxLax returns the longest single lax charge per client, in seconds. The
+// paper's invariant is that no lax line exceeds the client's l parameter.
+func (l *Log) MaxLax() map[string]float64 {
+	out := make(map[string]float64)
+	if l == nil {
+		return out
+	}
+	for _, e := range l.events {
+		if e.Kind != Lax {
+			continue
+		}
+		if d := e.End.Sub(e.Start).Seconds(); d > out[e.Client] {
+			out[e.Client] = d
+		}
+	}
+	return out
+}
+
+// GuaranteeViolation reports a window in which a client's charged time
+// deterministically exceeded its contract.
+type GuaranteeViolation struct {
+	Client  string
+	Window  sim.Time // window start
+	Busy    float64  // seconds charged in the window
+	Allowed float64  // slice plus roll-over slop, seconds
+}
+
+// ValidateGuarantees checks the Atropos invariant over a scheduler trace:
+// within every aligned window of length period, each client's charged time
+// (transactions plus lax; slack excluded) must not exceed its slice by more
+// than slop — the one roll-over transaction the accounting permits. It
+// returns all violations found.
+func (l *Log) ValidateGuarantees(slices map[string]time.Duration, period, slop time.Duration, until sim.Time) []GuaranteeViolation {
+	var out []GuaranteeViolation
+	if l == nil {
+		return nil
+	}
+	for client, slice := range slices {
+		allowed := (slice + slop).Seconds()
+		for w := sim.Time(0); w < until; w = w.Add(period) {
+			end := w.Add(period)
+			busy := 0.0
+			for _, e := range l.events {
+				if e.Client != client || (e.Kind != Transaction && e.Kind != Lax) {
+					continue
+				}
+				s, t := e.Start, e.End
+				if s < w {
+					s = w
+				}
+				if t > end {
+					t = end
+				}
+				if t > s {
+					busy += t.Sub(s).Seconds()
+				}
+			}
+			if busy > allowed {
+				out = append(out, GuaranteeViolation{Client: client, Window: w, Busy: busy, Allowed: allowed})
+			}
+		}
+	}
+	return out
+}
+
+// WriteTSV renders the log as tab-separated values: kind, client, start_ms,
+// end_ms, duration_ms.
+func (l *Log) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "kind\tclient\tstart_ms\tend_ms\tdur_ms"); err != nil {
+		return err
+	}
+	for _, e := range l.Events() {
+		_, err := fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\t%.3f\n",
+			e.Kind, e.Client, e.Start.Milliseconds(), e.End.Milliseconds(),
+			e.End.Sub(e.Start).Seconds()*1e3)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Point is one sample of a progress series.
+type Point struct {
+	T     sim.Time
+	Value float64
+}
+
+// Series is a named sequence of samples, e.g. sustained bandwidth of one
+// application over time.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t sim.Time, v float64) { s.Points = append(s.Points, Point{t, v}) }
+
+// Last returns the most recent sample value, or 0 if empty.
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Value
+}
+
+// Mean returns the mean of all sample values, or 0 if empty.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.Points))
+}
+
+// MeanAfter returns the mean of samples at or after t — useful for skipping
+// a warm-up transient.
+func (s *Series) MeanAfter(t sim.Time) float64 {
+	sum, n := 0.0, 0
+	for _, p := range s.Points {
+		if p.T >= t {
+			sum += p.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SeriesSet groups several series sampled on a common schedule.
+type SeriesSet struct {
+	Series []*Series
+}
+
+// New adds and returns a fresh named series.
+func (ss *SeriesSet) New(name string) *Series {
+	s := &Series{Name: name}
+	ss.Series = append(ss.Series, s)
+	return s
+}
+
+// Get returns the series with the given name, or nil.
+func (ss *SeriesSet) Get(name string) *Series {
+	for _, s := range ss.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// WriteTSV renders all series as a wide table: time_s followed by one column
+// per series. Sample times are unioned; missing samples render as blanks.
+func (ss *SeriesSet) WriteTSV(w io.Writer) error {
+	times := map[sim.Time]bool{}
+	for _, s := range ss.Series {
+		for _, p := range s.Points {
+			times[p.T] = true
+		}
+	}
+	sorted := make([]sim.Time, 0, len(times))
+	for t := range times {
+		sorted = append(sorted, t)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	header := []string{"time_s"}
+	for _, s := range ss.Series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	idx := make([]int, len(ss.Series))
+	for _, t := range sorted {
+		row := []string{fmt.Sprintf("%.2f", t.Seconds())}
+		for i, s := range ss.Series {
+			cell := ""
+			if idx[i] < len(s.Points) && s.Points[idx[i]].T == t {
+				cell = fmt.Sprintf("%.4f", s.Points[idx[i]].Value)
+				idx[i]++
+			}
+			row = append(row, cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nemesis/internal/sim"
+)
+
+func ms(n int64) sim.Time { return sim.Time(time.Duration(n) * time.Millisecond) }
+
+func TestLogAddAndQuery(t *testing.T) {
+	var l Log
+	l.Add(Event{Transaction, "a", ms(0), ms(10)})
+	l.Add(Event{Lax, "a", ms(10), ms(15)})
+	l.Add(Event{Transaction, "b", ms(15), ms(25)})
+	l.Add(Event{Allocation, "a", ms(250), ms(250)})
+
+	if len(l.Events()) != 4 {
+		t.Fatalf("Events = %d", len(l.Events()))
+	}
+	if got := l.ByClient("a"); len(got) != 3 {
+		t.Fatalf("ByClient(a) = %d", len(got))
+	}
+	if got := l.Between(ms(12), ms(20)); len(got) != 2 {
+		t.Fatalf("Between = %d (%v)", len(got), got)
+	}
+}
+
+func TestNilLogIsDiscard(t *testing.T) {
+	var l *Log
+	l.Add(Event{Transaction, "x", 0, 1}) // must not panic
+	if l.Events() != nil || l.ByClient("x") != nil || l.Between(0, 1) != nil {
+		t.Fatal("nil log returned data")
+	}
+	if len(l.TotalBusy(0, 1)) != 0 || len(l.MaxLax()) != 0 {
+		t.Fatal("nil log returned stats")
+	}
+}
+
+func TestTotalBusyClipsWindow(t *testing.T) {
+	var l Log
+	l.Add(Event{Transaction, "a", ms(0), ms(10)})
+	l.Add(Event{Transaction, "a", ms(20), ms(40)})
+	l.Add(Event{Lax, "a", ms(10), ms(20)}) // lax not counted as busy
+	busy := l.TotalBusy(ms(5), ms(30))
+	want := 0.005 + 0.010 // [5,10) + [20,30)
+	if got := busy["a"]; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("busy = %v, want %v", got, want)
+	}
+}
+
+func TestMaxLax(t *testing.T) {
+	var l Log
+	l.Add(Event{Lax, "a", ms(0), ms(3)})
+	l.Add(Event{Lax, "a", ms(10), ms(18)})
+	l.Add(Event{Lax, "b", ms(0), ms(1)})
+	m := l.MaxLax()
+	if m["a"] != 0.008 || m["b"] != 0.001 {
+		t.Fatalf("MaxLax = %v", m)
+	}
+}
+
+func TestLogWriteTSV(t *testing.T) {
+	var l Log
+	l.Add(Event{Transaction, "cl", ms(1), ms(2)})
+	var b strings.Builder
+	if err := l.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "txn\tcl\t1.000\t2.000\t1.000") {
+		t.Fatalf("TSV output:\n%s", out)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	cases := map[EventKind]string{Transaction: "txn", Lax: "lax", Allocation: "alloc", Slack: "slack", EventKind(9): "kind(9)"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	if s.Last() != 0 || s.Mean() != 0 {
+		t.Fatal("empty series stats nonzero")
+	}
+	s.Add(ms(1000), 2)
+	s.Add(ms(2000), 4)
+	s.Add(ms(3000), 6)
+	if s.Last() != 6 {
+		t.Fatalf("Last = %v", s.Last())
+	}
+	if s.Mean() != 4 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if got := s.MeanAfter(ms(1500)); got != 5 {
+		t.Fatalf("MeanAfter = %v", got)
+	}
+	if got := s.MeanAfter(ms(9000)); got != 0 {
+		t.Fatalf("MeanAfter past end = %v", got)
+	}
+}
+
+func TestSeriesSet(t *testing.T) {
+	var ss SeriesSet
+	a := ss.New("a")
+	b := ss.New("b")
+	a.Add(ms(1000), 1)
+	a.Add(ms(2000), 2)
+	b.Add(ms(2000), 20)
+	if ss.Get("a") != a || ss.Get("missing") != nil {
+		t.Fatal("Get broken")
+	}
+	var buf strings.Builder
+	if err := ss.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "time_s\ta\tb" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1.00\t1.0000\t") {
+		t.Fatalf("row1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "2.00\t2.0000\t20.0000") {
+		t.Fatalf("row2 = %q", lines[2])
+	}
+}
+
+func TestValidateGuarantees(t *testing.T) {
+	var l Log
+	// Client "a" (slice 25ms/250ms): window 0 fine, window 1 overruns.
+	l.Add(Event{Transaction, "a", ms(0), ms(20)})
+	l.Add(Event{Lax, "a", ms(20), ms(24)})
+	l.Add(Event{Transaction, "a", ms(250), ms(300)}) // 50ms > 25+10
+	// Slack is never counted.
+	l.Add(Event{Slack, "a", ms(300), ms(400)})
+	slices := map[string]time.Duration{"a": 25 * time.Millisecond}
+	v := l.ValidateGuarantees(slices, 250*time.Millisecond, 10*time.Millisecond, ms(500))
+	if len(v) != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+	if v[0].Client != "a" || v[0].Window != ms(250) {
+		t.Fatalf("violation = %+v", v[0])
+	}
+	if v[0].Busy != 0.050 {
+		t.Fatalf("busy = %v", v[0].Busy)
+	}
+	// Nil log: no violations.
+	var nilLog *Log
+	if nilLog.ValidateGuarantees(slices, time.Second, 0, ms(500)) != nil {
+		t.Fatal("nil log produced violations")
+	}
+}
+
+func TestValidateGuaranteesClipsEdges(t *testing.T) {
+	var l Log
+	// A transaction spanning a window boundary is split across windows.
+	l.Add(Event{Transaction, "a", ms(240), ms(270)})
+	slices := map[string]time.Duration{"a": 25 * time.Millisecond}
+	v := l.ValidateGuarantees(slices, 250*time.Millisecond, 0, ms(500))
+	if len(v) != 0 {
+		t.Fatalf("split transaction flagged: %v", v)
+	}
+}

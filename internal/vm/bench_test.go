@@ -1,0 +1,105 @@
+package vm
+
+import (
+	"testing"
+
+	"nemesis/internal/mem"
+)
+
+func benchWorld(b *testing.B, pages int) (*TranslationSystem, *Stretch, *ProtectionDomain) {
+	b.Helper()
+	rt := mem.NewRamTab(pages + 8)
+	ts := NewTranslationSystem(rt)
+	sa := NewStretchAllocator(ts, 0x10000000, 0x80000000)
+	st, err := sa.New(1, uint64(pages)*PageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pd, _ := ts.NewProtectionDomain()
+	ts.GrantInitial(pd, st.ID(), Read|Write|Meta)
+	for i := 0; i < pages; i++ {
+		rt.Grant(mem.PFN(i), 1, 0)
+		if err := ts.Map(pd, 1, st.PageBase(i), mem.PFN(i), DefaultAttr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ts, st, pd
+}
+
+func BenchmarkLinearTableLookup(b *testing.B) {
+	ts, st, _ := benchWorld(b, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ts.PageTable().Lookup(PageOf(st.PageBase(i%128))) == nil {
+			b.Fatal("missing")
+		}
+	}
+}
+
+func BenchmarkGuardedTableLookup(b *testing.B) {
+	g := NewGuardedPageTable()
+	base := VPN(0x10000000 >> PageShift)
+	for i := VPN(0); i < 128; i++ {
+		g.Insert(base+i, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Lookup(base+VPN(i%128)) == nil {
+			b.Fatal("missing")
+		}
+	}
+}
+
+func BenchmarkAccessTLBHit(b *testing.B) {
+	ts, st, pd := benchWorld(b, 8)
+	ts.Access(pd, st.Base(), AccessRead) // prime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, f := ts.Access(pd, st.Base(), AccessRead); f != nil {
+			b.Fatal(f)
+		}
+	}
+}
+
+func BenchmarkAccessTLBMiss(b *testing.B) {
+	ts, st, pd := benchWorld(b, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 128 pages > 64 TLB slots: every strided access misses.
+		if _, f := ts.Access(pd, st.PageBase(i*3%128), AccessRead); f != nil {
+			b.Fatal(f)
+		}
+	}
+}
+
+func BenchmarkMapUnmap(b *testing.B) {
+	ts, st, pd := benchWorld(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pfn, _, err := ts.Unmap(pd, 1, st.Base())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ts.Map(pd, 1, st.Base(), pfn, DefaultAttr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProtectPages100(b *testing.B) {
+	ts, st, pd := benchWorld(b, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	val := Rights(Read)
+	for i := 0; i < b.N; i++ {
+		val ^= Write
+		if _, err := ts.ProtectPages(pd, st, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package vm
+
+// Table is the page-table abstraction behind the translation system. Two
+// implementations exist: the linear PageTable (what the paper ships — "an
+// 8Gb array in the virtual address space ... which provides efficient
+// translation") and the GuardedPageTable below (the paper's earlier
+// implementation, "about three times slower"). WalkDepth reports how many
+// table nodes a lookup of the given page visits, which is what the cost
+// model charges for.
+type Table interface {
+	Lookup(vpn VPN) *PTE
+	Insert(vpn VPN, sid StretchID)
+	Delete(vpn VPN)
+	Entries() int
+	WalkDepth(vpn VPN) int
+}
+
+var (
+	_ Table = (*PageTable)(nil)
+	_ Table = (*GuardedPageTable)(nil)
+)
+
+// WalkDepth implements Table for the linear page table: one index step.
+func (pt *PageTable) WalkDepth(vpn VPN) int { return 1 }
+
+// gptDigitBits is the radix of the guarded page table: 6 bits (64-way
+// nodes) per level, as in Liedtke-style GPTs tuned for 64-bit spaces.
+const gptDigitBits = 6
+
+// gptKeyBits is the key width: VPNs fit comfortably in 48 bits.
+const gptKeyBits = 48
+
+const gptDigits = gptKeyBits / gptDigitBits
+
+// gptNode is one node of the guarded page table: a radix-16 trie node with
+// a guard — the compressed common prefix (sequence of digits) that all keys
+// below this node share. Guards are what let sparse address spaces resolve
+// in a few levels instead of one level per digit.
+type gptNode struct {
+	guard []byte // digits (each 0..15) skipped before indexing slots
+	slots [1 << gptDigitBits]*gptNode
+	pte   *PTE // non-nil at full depth
+}
+
+// GuardedPageTable is a guarded page table in the style of Liedtke, as used
+// by the earlier Nemesis implementation the paper compares against. It has
+// identical semantics to PageTable; only the lookup cost differs.
+type GuardedPageTable struct {
+	root    *gptNode
+	entries int
+}
+
+// NewGuardedPageTable returns an empty guarded page table.
+func NewGuardedPageTable() *GuardedPageTable {
+	return &GuardedPageTable{root: &gptNode{}}
+}
+
+// digitsOf decomposes a VPN into gptDigits digits, most significant first.
+func digitsOf(vpn VPN) []byte {
+	d := make([]byte, gptDigits)
+	for i := 0; i < gptDigits; i++ {
+		shift := uint((gptDigits - 1 - i) * gptDigitBits)
+		d[i] = byte((uint64(vpn) >> shift) & (1<<gptDigitBits - 1))
+	}
+	return d
+}
+
+// Entries returns the number of present entries.
+func (g *GuardedPageTable) Entries() int { return g.entries }
+
+// walk descends towards vpn. It returns the terminal node (holding the PTE
+// if fully matched) and the number of nodes visited; ok reports whether the
+// guard path matched exactly to full depth.
+func (g *GuardedPageTable) walk(vpn VPN) (node *gptNode, depth int, ok bool) {
+	d := digitsOf(vpn)
+	n := g.root
+	depth = 1
+	i := 0
+	for {
+		// Match the node's guard.
+		for _, gd := range n.guard {
+			if i >= len(d) || d[i] != gd {
+				return n, depth, false
+			}
+			i++
+		}
+		if i == len(d) {
+			return n, depth, n.pte != nil
+		}
+		next := n.slots[d[i]]
+		if next == nil {
+			return n, depth, false
+		}
+		i++
+		n = next
+		depth++
+	}
+}
+
+// Lookup returns the entry for vpn, or nil.
+func (g *GuardedPageTable) Lookup(vpn VPN) *PTE {
+	n, _, ok := g.walk(vpn)
+	if !ok {
+		return nil
+	}
+	return n.pte
+}
+
+// WalkDepth returns the number of nodes a lookup of vpn visits.
+func (g *GuardedPageTable) WalkDepth(vpn VPN) int {
+	_, depth, _ := g.walk(vpn)
+	return depth
+}
+
+// Insert creates a NULL (present, invalid) entry for vpn belonging to sid.
+// An existing entry is overwritten, matching PageTable semantics.
+func (g *GuardedPageTable) Insert(vpn VPN, sid StretchID) {
+	d := digitsOf(vpn)
+	n := g.root
+	i := 0
+	for {
+		// Walk the guard; split the node on first mismatch.
+		for gi, gd := range n.guard {
+			if i < len(d) && d[i] == gd {
+				i++
+				continue
+			}
+			// Split: the node keeps guard[:gi]; a child inherits
+			// guard[gi+1:], all slots and the pte, reachable under
+			// digit guard[gi].
+			child := &gptNode{
+				guard: append([]byte(nil), n.guard[gi+1:]...),
+				slots: n.slots,
+				pte:   n.pte,
+			}
+			n.guard = append([]byte(nil), n.guard[:gi]...)
+			n.slots = [1 << gptDigitBits]*gptNode{}
+			n.pte = nil
+			n.slots[gd] = child
+			break
+		}
+		if i == len(d) {
+			if n.pte == nil {
+				g.entries++
+			}
+			n.pte = &PTE{Present: true, SID: sid}
+			return
+		}
+		next := n.slots[d[i]]
+		if next == nil {
+			// Fresh leaf: compress the whole remaining path into one
+			// guarded node.
+			leaf := &gptNode{
+				guard: append([]byte(nil), d[i+1:]...),
+				pte:   &PTE{Present: true, SID: sid},
+			}
+			n.slots[d[i]] = leaf
+			g.entries++
+			return
+		}
+		i++
+		n = next
+	}
+}
+
+// Delete removes the entry for vpn, if present. Nodes are not re-merged;
+// the structure stays valid (and the paper's implementation would not have
+// merged either on the fault path).
+func (g *GuardedPageTable) Delete(vpn VPN) {
+	n, _, ok := g.walk(vpn)
+	if !ok {
+		return
+	}
+	n.pte = nil
+	g.entries--
+}

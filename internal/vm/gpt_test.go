@@ -1,0 +1,297 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nemesis/internal/mem"
+)
+
+func TestGPTInsertLookup(t *testing.T) {
+	g := NewGuardedPageTable()
+	if g.Lookup(42) != nil || g.Entries() != 0 {
+		t.Fatal("fresh table not empty")
+	}
+	g.Insert(42, 7)
+	pte := g.Lookup(42)
+	if pte == nil || !pte.Present || pte.SID != 7 {
+		t.Fatalf("pte = %+v", pte)
+	}
+	if g.Entries() != 1 {
+		t.Fatalf("entries = %d", g.Entries())
+	}
+	// Nearby key absent.
+	if g.Lookup(43) != nil {
+		t.Fatal("phantom entry")
+	}
+	// Overwrite keeps the count.
+	g.Insert(42, 9)
+	if g.Entries() != 1 || g.Lookup(42).SID != 9 {
+		t.Fatal("overwrite broken")
+	}
+}
+
+func TestGPTDelete(t *testing.T) {
+	g := NewGuardedPageTable()
+	g.Insert(100, 1)
+	g.Insert(101, 1)
+	g.Delete(100)
+	if g.Lookup(100) != nil || g.Lookup(101) == nil {
+		t.Fatal("delete wrong entry")
+	}
+	if g.Entries() != 1 {
+		t.Fatalf("entries = %d", g.Entries())
+	}
+	g.Delete(100) // idempotent
+	if g.Entries() != 1 {
+		t.Fatal("double delete decremented")
+	}
+}
+
+func TestGPTGuardSplitting(t *testing.T) {
+	g := NewGuardedPageTable()
+	// Keys sharing a long prefix force guard creation and splitting.
+	keys := []VPN{0x123456789, 0x12345678A, 0x123456000, 0x999999999}
+	for i, k := range keys {
+		g.Insert(k, StretchID(i+1))
+	}
+	for i, k := range keys {
+		pte := g.Lookup(k)
+		if pte == nil || pte.SID != StretchID(i+1) {
+			t.Fatalf("key %x -> %+v", uint64(k), pte)
+		}
+	}
+	if g.Entries() != 4 {
+		t.Fatalf("entries = %d", g.Entries())
+	}
+}
+
+func TestGPTWalkDepthCompressed(t *testing.T) {
+	g := NewGuardedPageTable()
+	g.Insert(0x123456789, 1)
+	// A lone key resolves via one guarded leaf: depth 2 (root + leaf).
+	if d := g.WalkDepth(0x123456789); d != 2 {
+		t.Fatalf("lone-key depth = %d, want 2", d)
+	}
+	// Clustered keys stay shallow thanks to guards, but deeper than the
+	// linear table's single access.
+	for i := VPN(0); i < 512; i++ {
+		g.Insert(0x200000000+i, 2)
+	}
+	lin := NewPageTable()
+	for i := VPN(0); i < 512; i++ {
+		lin.Insert(0x200000000+i, 2)
+	}
+	d := g.WalkDepth(0x200000100)
+	if d <= lin.WalkDepth(0x200000100) {
+		t.Fatalf("GPT depth %d not deeper than linear %d", d, lin.WalkDepth(0x200000100))
+	}
+	if d > 6 {
+		t.Fatalf("GPT depth %d — guards not compressing", d)
+	}
+}
+
+// Property: the GPT agrees with a map-based reference under arbitrary
+// insert/delete/lookup sequences.
+func TestGPTMatchesReferenceProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		g := NewGuardedPageTable()
+		ref := map[VPN]StretchID{}
+		for i, op := range ops {
+			// Confine keys to a small space so collisions happen.
+			vpn := VPN(op % 4096)
+			switch i % 3 {
+			case 0, 1:
+				sid := StretchID(op%7 + 1)
+				g.Insert(vpn, sid)
+				ref[vpn] = sid
+			case 2:
+				g.Delete(vpn)
+				delete(ref, vpn)
+			}
+			if g.Entries() != len(ref) {
+				return false
+			}
+		}
+		for vpn, sid := range ref {
+			pte := g.Lookup(vpn)
+			if pte == nil || pte.SID != sid {
+				return false
+			}
+		}
+		// Spot-check absent keys.
+		for vpn := VPN(0); vpn < 4096; vpn += 97 {
+			_, present := ref[vpn]
+			if (g.Lookup(vpn) != nil) != present {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGPTBacksTranslationSystem: the full VM stack works unchanged over the
+// guarded table.
+func TestGPTBacksTranslationSystem(t *testing.T) {
+	rt := mem.NewRamTab(16)
+	ts := NewTranslationSystemWithTable(rt, NewGuardedPageTable())
+	sa := NewStretchAllocator(ts, 0x10000000, 0x20000000)
+	st, err := sa.New(1, 4*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, _ := ts.NewProtectionDomain()
+	ts.GrantInitial(pd, st.ID(), Read|Write|Meta)
+	rt.Grant(3, 1, 0)
+	if err := ts.Map(pd, 1, st.Base(), 3, DefaultAttr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, f := ts.Access(pd, st.Base(), AccessWrite); f != nil {
+		t.Fatalf("access faulted: %v", f)
+	}
+	if d, _ := ts.IsDirty(st.Base()); !d {
+		t.Fatal("dirty bit lost through GPT")
+	}
+	pfn, dirty, err := ts.Unmap(pd, 1, st.Base())
+	if err != nil || pfn != 3 || !dirty {
+		t.Fatalf("unmap = %d %v %v", pfn, dirty, err)
+	}
+	if err := sa.Destroy(st); err != nil {
+		t.Fatal(err)
+	}
+	if ts.PageTable().Entries() != 0 {
+		t.Fatal("entries leak after destroy")
+	}
+}
+
+// --- superpage tests (in this file to reuse the world helper) ---
+
+func TestMapSuperBasics(t *testing.T) {
+	ts, sa, rt := world()
+	st, _ := sa.New(1, 16*PageSize)
+	pd, _ := ts.NewProtectionDomain()
+	ts.GrantInitial(pd, st.ID(), Read|Write|Meta)
+	// 8 contiguous, aligned frames.
+	for i := mem.PFN(0); i < 16; i++ {
+		ownedFrame(rt, i, 1)
+	}
+	// The stretch base VPN is aligned (0x10000000 >> 13 = 0x8000).
+	if err := ts.MapSuper(pd, 1, st.Base(), 0, 3, DefaultAttr()); err != nil {
+		t.Fatal(err)
+	}
+	// Every page translates with the right frame.
+	for i := 0; i < 8; i++ {
+		pfn, _, err := ts.Trans(st.PageBase(i))
+		if err != nil || pfn != mem.PFN(i) {
+			t.Fatalf("page %d -> %d, %v", i, pfn, err)
+		}
+	}
+	// Width recorded in the RamTab and PTEs.
+	if w, _ := rt.Width(3); w != 3 {
+		t.Fatalf("ramtab width = %d", w)
+	}
+	// One access fills a single wide TLB entry covering all 8 pages.
+	m0 := ts.TLB().Misses()
+	ts.Access(pd, st.Base(), AccessRead)
+	for i := 1; i < 8; i++ {
+		if _, f := ts.Access(pd, st.PageBase(i), AccessRead); f != nil {
+			t.Fatalf("page %d fault: %v", i, f)
+		}
+	}
+	if ts.TLB().Misses() != m0+1 {
+		t.Fatalf("misses = %d, want exactly 1 for the whole superpage", ts.TLB().Misses()-m0)
+	}
+	// Unmapping one member shoots down the wide entry and the page faults.
+	if _, _, err := ts.Unmap(pd, 1, st.PageBase(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, f := ts.Access(pd, st.PageBase(3), AccessRead); f == nil || f.Class != PageFault {
+		t.Fatalf("fault = %+v", f)
+	}
+	// Other members still translate (per-page PTEs survive; refills fall
+	// back to single-page entries since the block is no longer whole).
+	if _, f := ts.Access(pd, st.PageBase(4), AccessRead); f != nil {
+		t.Fatalf("page 4 fault after partial unmap: %v", f)
+	}
+}
+
+func TestMapSuperValidation(t *testing.T) {
+	ts, sa, rt := world()
+	st, _ := sa.New(1, 16*PageSize)
+	pd, _ := ts.NewProtectionDomain()
+	ts.GrantInitial(pd, st.ID(), Read|Write|Meta)
+	for i := mem.PFN(0); i < 16; i++ {
+		ownedFrame(rt, i, 1)
+	}
+	// Misaligned VA (one page in).
+	if err := ts.MapSuper(pd, 1, st.PageBase(1), 0, 3, DefaultAttr()); err == nil {
+		t.Fatal("misaligned superpage accepted")
+	}
+	// Misaligned PFN.
+	if err := ts.MapSuper(pd, 1, st.Base(), 3, 3, DefaultAttr()); err == nil {
+		t.Fatal("misaligned frame run accepted")
+	}
+	// A frame in the run is busy: whole map rolls back.
+	rt.SetState(5, 1, mem.Mapped)
+	if err := ts.MapSuper(pd, 1, st.Base(), 0, 3, DefaultAttr()); err == nil {
+		t.Fatal("busy frame accepted")
+	}
+	for i := 0; i < 8; i++ {
+		if _, _, err := ts.Trans(st.PageBase(i)); err == nil {
+			t.Fatalf("page %d left mapped after rollback", i)
+		}
+	}
+	if s, _ := rt.State(2); s != mem.Unused {
+		t.Fatalf("frame 2 state %v after rollback", s)
+	}
+}
+
+// TestSuperpageTLBReach: a 128-page working set thrashes a 64-entry TLB
+// with normal pages but fits easily as sixteen 8-page superpages.
+func TestSuperpageTLBReach(t *testing.T) {
+	const pages = 128
+	run := func(super bool) (misses int64) {
+		rt := mem.NewRamTab(pages)
+		ts := NewTranslationSystemWithTable(rt, NewPageTable())
+		sa := NewStretchAllocator(ts, 0x10000000, 0x80000000)
+		st, _ := sa.New(1, pages*PageSize)
+		pd, _ := ts.NewProtectionDomain()
+		ts.GrantInitial(pd, st.ID(), Read|Write|Meta)
+		for i := mem.PFN(0); i < pages; i++ {
+			ownedFrame(rt, i, 1)
+		}
+		if super {
+			for b := 0; b < pages/8; b++ {
+				if err := ts.MapSuper(pd, 1, st.PageBase(b*8), mem.PFN(b*8), 3, DefaultAttr()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			for i := 0; i < pages; i++ {
+				if err := ts.Map(pd, 1, st.PageBase(i), mem.PFN(i), DefaultAttr()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		m0 := ts.TLB().Misses()
+		for sweep := 0; sweep < 10; sweep++ {
+			for i := 0; i < pages; i++ {
+				if _, f := ts.Access(pd, st.PageBase(i), AccessRead); f != nil {
+					t.Fatal(f)
+				}
+			}
+		}
+		return ts.TLB().Misses() - m0
+	}
+	normal := run(false)
+	super := run(true)
+	if normal < 1000 {
+		t.Fatalf("normal pages missed only %d times; working set not thrashing", normal)
+	}
+	if super > 16 {
+		t.Fatalf("superpages missed %d times, want <= 16 (one per block)", super)
+	}
+}

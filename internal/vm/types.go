@@ -1,0 +1,157 @@
+// Package vm implements the virtual-memory side of the Nemesis VM system:
+// stretches (ranges of the single global virtual address space with
+// stretch-granularity protection), the stretch allocator, protection domains
+// with explicit meta rights, the linear page table with FOR/FOW-style
+// dirty/referenced emulation, a TLB model with address-space numbers, and
+// the two-part translation system (high-level page-table management private
+// to the system domain; low-level map/unmap/trans validated against meta
+// rights and the RamTab).
+//
+// The package is pure logic: it consumes no simulated time itself. Callers
+// (the cpu cost model, the fault dispatcher) charge the simulated costs of
+// walking these structures.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"nemesis/internal/mem"
+)
+
+// PageSize and PageShift mirror the machine page size (8 KB Alpha pages).
+const (
+	PageSize  = mem.PageSize
+	PageShift = 13
+)
+
+// VA is a virtual address in the single global address space.
+type VA uint64
+
+// VPN is a virtual page number.
+type VPN uint64
+
+// PageOf returns the VPN containing va.
+func PageOf(va VA) VPN { return VPN(va >> PageShift) }
+
+// Base returns the first address of the page.
+func (v VPN) Base() VA { return VA(v) << PageShift }
+
+// Errors returned by the VM system.
+var (
+	ErrNoVAS         = errors.New("vm: virtual address space exhausted")
+	ErrBadStretch    = errors.New("vm: invalid stretch")
+	ErrOverlap       = errors.New("vm: requested range overlaps an existing stretch")
+	ErrNoMeta        = errors.New("vm: caller lacks meta right")
+	ErrNotMapped     = errors.New("vm: virtual address not mapped")
+	ErrNotAllocated  = errors.New("vm: virtual address not part of any stretch")
+	ErrAlreadyMapped = errors.New("vm: virtual address already mapped")
+	ErrBadSize       = errors.New("vm: size must be a positive multiple of the page size")
+)
+
+// Right is a single access right.
+type Right uint8
+
+// Rights is a set of stretch-granularity access rights. Meta authorises
+// changing protections and mappings on the stretch.
+type Rights uint8
+
+const (
+	Read Rights = 1 << iota
+	Write
+	Execute
+	Meta
+)
+
+// Has reports whether all rights in r are present.
+func (rs Rights) Has(r Rights) bool { return rs&r == r }
+
+func (rs Rights) String() string {
+	if rs == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for _, p := range []struct {
+		r Rights
+		c byte
+	}{{Read, 'r'}, {Write, 'w'}, {Execute, 'x'}, {Meta, 'm'}} {
+		if rs.Has(p.r) {
+			b.WriteByte(p.c)
+		}
+	}
+	return b.String()
+}
+
+// Access is the kind of memory access being attempted.
+type Access uint8
+
+const (
+	AccessRead Access = iota
+	AccessWrite
+	AccessExecute
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExecute:
+		return "execute"
+	default:
+		return fmt.Sprintf("access(%d)", a)
+	}
+}
+
+// need returns the right required for access a.
+func (a Access) need() Rights {
+	switch a {
+	case AccessWrite:
+		return Write
+	case AccessExecute:
+		return Execute
+	default:
+		return Read
+	}
+}
+
+// FaultClass distinguishes the fault kinds the system domain's NULL-mapping
+// scheme lets the kernel tell apart and dispatch separately.
+type FaultClass uint8
+
+const (
+	// PageFault: the address is allocated and accessible but has no
+	// physical frame — the stretch driver must provide one.
+	PageFault FaultClass = iota
+	// ProtectionFault: the protection domain lacks the needed right.
+	ProtectionFault
+	// UnallocatedFault: the address is not part of any stretch.
+	UnallocatedFault
+)
+
+func (c FaultClass) String() string {
+	switch c {
+	case PageFault:
+		return "page"
+	case ProtectionFault:
+		return "protection"
+	case UnallocatedFault:
+		return "unallocated"
+	default:
+		return fmt.Sprintf("fault(%d)", c)
+	}
+}
+
+// Fault describes a memory fault to be dispatched to the faulting domain.
+type Fault struct {
+	VA     VA
+	Class  FaultClass
+	Access Access
+	SID    StretchID // stretch containing VA, if any
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("vm: %s fault on %s at %#x (stretch %d)", f.Class, f.Access, uint64(f.VA), f.SID)
+}

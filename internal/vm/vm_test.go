@@ -1,0 +1,524 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"nemesis/internal/mem"
+)
+
+// world builds a translation system with a stretch allocator over a small
+// VAS and a RamTab of 64 frames.
+func world() (*TranslationSystem, *StretchAllocator, *mem.RamTab) {
+	rt := mem.NewRamTab(64)
+	ts := NewTranslationSystem(rt)
+	sa := NewStretchAllocator(ts, 0x10000000, 0x20000000)
+	return ts, sa, rt
+}
+
+// ownedFrame grants pfn to domain in the ramtab (bypassing the allocator,
+// which is tested in package mem).
+func ownedFrame(rt *mem.RamTab, pfn mem.PFN, d mem.DomainID) { rt.Grant(pfn, d, 0) }
+
+func TestRightsString(t *testing.T) {
+	if Rights(0).String() != "-" {
+		t.Fatal("zero rights string")
+	}
+	if got := (Read | Write | Execute | Meta).String(); got != "rwxm" {
+		t.Fatalf("rights = %q", got)
+	}
+	if !(Read | Meta).Has(Read) || (Read | Meta).Has(Write) {
+		t.Fatal("Has broken")
+	}
+}
+
+func TestAccessStrings(t *testing.T) {
+	if AccessRead.String() != "read" || AccessWrite.String() != "write" || AccessExecute.String() != "execute" {
+		t.Fatal("access strings")
+	}
+	if PageFault.String() != "page" || ProtectionFault.String() != "protection" || UnallocatedFault.String() != "unallocated" {
+		t.Fatal("fault strings")
+	}
+}
+
+func TestStretchAllocation(t *testing.T) {
+	_, sa, _ := world()
+	st, err := sa.New(1, 3*PageSize+1) // rounds up to 4 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pages() != 4 || st.Size() != 4*PageSize {
+		t.Fatalf("pages=%d size=%d", st.Pages(), st.Size())
+	}
+	if st.Base()%PageSize != 0 {
+		t.Fatal("base not page aligned")
+	}
+	if st.Owner() != 1 {
+		t.Fatal("owner wrong")
+	}
+	st2, err := sa.New(2, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-overlapping.
+	if st2.Base() < st.Base()+VA(st.Size()) {
+		t.Fatalf("stretches overlap: %v %v", st, st2)
+	}
+	if sa.Find(st.Base()+100) != st || sa.Find(st2.Base()) != st2 {
+		t.Fatal("Find broken")
+	}
+	if sa.Find(0x0F000000) != nil {
+		t.Fatal("Find outside stretches")
+	}
+	if sa.Lookup(st.ID()) != st || sa.Lookup(9999) != nil {
+		t.Fatal("Lookup broken")
+	}
+	if _, err := sa.New(1, 0); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("zero size: %v", err)
+	}
+}
+
+func TestStretchNewAt(t *testing.T) {
+	_, sa, _ := world()
+	st, err := sa.NewAt(1, 0x18000000, 2*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Base() != 0x18000000 {
+		t.Fatalf("base = %#x", uint64(st.Base()))
+	}
+	if _, err := sa.NewAt(2, 0x18000000+PageSize, PageSize); !errors.Is(err, ErrOverlap) {
+		t.Fatalf("overlap: %v", err)
+	}
+	if _, err := sa.NewAt(2, 0x18000001, PageSize); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("unaligned: %v", err)
+	}
+	if _, err := sa.NewAt(2, 0x30000000, PageSize); !errors.Is(err, ErrNoVAS) {
+		t.Fatalf("outside VAS: %v", err)
+	}
+	// Allocation after NewAt avoids the hole.
+	st2, err := sa.New(1, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Base() >= 0x18000000 && st2.Base() < 0x18000000+2*PageSize {
+		t.Fatal("New handed out overlapping range")
+	}
+}
+
+func TestVASExhaustion(t *testing.T) {
+	ts := NewTranslationSystem(mem.NewRamTab(4))
+	sa := NewStretchAllocator(ts, 0, 4*PageSize)
+	if _, err := sa.New(1, 5*PageSize); !errors.Is(err, ErrNoVAS) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := sa.New(1, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sa.New(1, PageSize); !errors.Is(err, ErrNoVAS) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNullMappingsCreated(t *testing.T) {
+	ts, sa, _ := world()
+	st, _ := sa.New(1, 2*PageSize)
+	pte := ts.PageTable().Lookup(PageOf(st.Base()))
+	if pte == nil || !pte.Present || pte.Valid {
+		t.Fatalf("NULL mapping wrong: %+v", pte)
+	}
+	if pte.SID != st.ID() {
+		t.Fatal("SID not recorded")
+	}
+	// Faults distinguish allocated-but-unmapped from unallocated.
+	pd, _ := ts.NewProtectionDomain()
+	ts.GrantInitial(pd, st.ID(), Read|Write|Meta)
+	_, f := ts.Access(pd, st.Base(), AccessRead)
+	if f == nil || f.Class != PageFault {
+		t.Fatalf("fault = %+v, want page fault", f)
+	}
+	_, f = ts.Access(pd, 0x0F000000, AccessRead)
+	if f == nil || f.Class != UnallocatedFault {
+		t.Fatalf("fault = %+v, want unallocated", f)
+	}
+}
+
+func TestStretchDestroy(t *testing.T) {
+	ts, sa, rt := world()
+	st, _ := sa.New(1, 2*PageSize)
+	pd, _ := ts.NewProtectionDomain()
+	ts.GrantInitial(pd, st.ID(), Meta)
+	ownedFrame(rt, 3, 1)
+	if err := ts.Map(pd, 1, st.Base(), 3, DefaultAttr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Destroy(st); !errors.Is(err, ErrBadStretch) {
+		t.Fatalf("destroy with mapped page: %v", err)
+	}
+	if _, _, err := ts.Unmap(pd, 1, st.Base()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Destroy(st); err != nil {
+		t.Fatal(err)
+	}
+	if ts.PageTable().Lookup(PageOf(st.Base())) != nil {
+		t.Fatal("PTEs survive destroy")
+	}
+	if err := sa.Destroy(st); !errors.Is(err, ErrBadStretch) {
+		t.Fatalf("double destroy: %v", err)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	ts, sa, rt := world()
+	st, _ := sa.New(1, 2*PageSize)
+	pd, _ := ts.NewProtectionDomain()
+	// No meta right yet.
+	ownedFrame(rt, 5, 1)
+	if err := ts.Map(pd, 1, st.Base(), 5, DefaultAttr()); !errors.Is(err, ErrNoMeta) {
+		t.Fatalf("map without meta: %v", err)
+	}
+	ts.GrantInitial(pd, st.ID(), Read|Write|Meta)
+	// Mapping an address outside any stretch.
+	if err := ts.Map(pd, 1, 0x0F000000, 5, DefaultAttr()); !errors.Is(err, ErrNotAllocated) {
+		t.Fatalf("map unallocated: %v", err)
+	}
+	// Mapping a frame not owned by the domain.
+	ownedFrame(rt, 6, 2)
+	if err := ts.Map(pd, 1, st.Base(), 6, DefaultAttr()); !errors.Is(err, mem.ErrNotOwner) {
+		t.Fatalf("map foreign frame: %v", err)
+	}
+	// Good map.
+	if err := ts.Map(pd, 1, st.Base(), 5, DefaultAttr()); err != nil {
+		t.Fatal(err)
+	}
+	// Double map of the VA.
+	ownedFrame(rt, 7, 1)
+	if err := ts.Map(pd, 1, st.Base(), 7, DefaultAttr()); !errors.Is(err, ErrAlreadyMapped) {
+		t.Fatalf("double map: %v", err)
+	}
+	// Mapping an already-mapped frame elsewhere.
+	if err := ts.Map(pd, 1, st.PageBase(1), 5, DefaultAttr()); !errors.Is(err, mem.ErrFrameBusy) {
+		t.Fatalf("map busy frame: %v", err)
+	}
+	// RamTab state tracks.
+	if s, _ := rt.State(5); s != mem.Mapped {
+		t.Fatalf("frame state = %v", s)
+	}
+}
+
+func TestUnmapAndTrans(t *testing.T) {
+	ts, sa, rt := world()
+	st, _ := sa.New(1, PageSize)
+	pd, _ := ts.NewProtectionDomain()
+	ts.GrantInitial(pd, st.ID(), Read|Write|Meta)
+	ownedFrame(rt, 9, 1)
+	va := st.Base()
+	if _, _, err := ts.Trans(va); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("trans unmapped: %v", err)
+	}
+	ts.Map(pd, 1, va, 9, DefaultAttr())
+	pfn, attr, err := ts.Trans(va)
+	if err != nil || pfn != 9 || !attr.FOR || !attr.FOW {
+		t.Fatalf("trans = %d %+v %v", pfn, attr, err)
+	}
+	// Dirty the page, then unmap: dirty reported, frame unused.
+	ts.Access(pd, va, AccessWrite)
+	gotPFN, dirty, err := ts.Unmap(pd, 1, va)
+	if err != nil || gotPFN != 9 || !dirty {
+		t.Fatalf("unmap = %d %v %v", gotPFN, dirty, err)
+	}
+	if s, _ := rt.State(9); s != mem.Unused {
+		t.Fatalf("state = %v", s)
+	}
+	if _, _, err := ts.Unmap(pd, 1, va); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("double unmap: %v", err)
+	}
+}
+
+func TestProtectionChecks(t *testing.T) {
+	ts, sa, rt := world()
+	st, _ := sa.New(1, PageSize)
+	owner, _ := ts.NewProtectionDomain()
+	other, _ := ts.NewProtectionDomain()
+	ts.GrantInitial(owner, st.ID(), Read|Write|Meta)
+	ts.GrantInitial(other, st.ID(), Read)
+	ownedFrame(rt, 2, 1)
+	ts.Map(owner, 1, st.Base(), 2, DefaultAttr())
+
+	if _, f := ts.Access(owner, st.Base(), AccessWrite); f != nil {
+		t.Fatalf("owner write faulted: %v", f)
+	}
+	if _, f := ts.Access(other, st.Base(), AccessRead); f != nil {
+		t.Fatalf("other read faulted: %v", f)
+	}
+	_, f := ts.Access(other, st.Base(), AccessWrite)
+	if f == nil || f.Class != ProtectionFault {
+		t.Fatalf("other write fault = %+v", f)
+	}
+	_, f = ts.Access(other, st.Base(), AccessExecute)
+	if f == nil || f.Class != ProtectionFault {
+		t.Fatalf("execute fault = %+v", f)
+	}
+	// Fault error text is useful.
+	if f.Error() == "" {
+		t.Fatal("empty fault error")
+	}
+}
+
+func TestMetaRightForProtection(t *testing.T) {
+	ts, sa, _ := world()
+	st, _ := sa.New(1, PageSize)
+	owner, _ := ts.NewProtectionDomain()
+	other, _ := ts.NewProtectionDomain()
+	ts.GrantInitial(owner, st.ID(), Read|Write|Meta)
+	// other lacks meta: cannot change rights.
+	if _, err := ts.SetRights(other, other, st.ID(), Read|Write); !errors.Is(err, ErrNoMeta) {
+		t.Fatalf("err = %v", err)
+	}
+	// owner grants other write access.
+	changed, err := ts.SetRights(owner, other, st.ID(), Read|Write)
+	if err != nil || !changed {
+		t.Fatalf("SetRights = %v %v", changed, err)
+	}
+	// Idempotent change detected.
+	changed, err = ts.SetRights(owner, other, st.ID(), Read|Write)
+	if err != nil || changed {
+		t.Fatalf("idempotent SetRights = %v %v", changed, err)
+	}
+	if other.RightsOn(st.ID()) != Read|Write {
+		t.Fatal("rights not applied")
+	}
+	// Revoke to zero removes the entry.
+	ts.SetRights(owner, other, st.ID(), 0)
+	if other.RightsOn(st.ID()) != 0 {
+		t.Fatal("rights not revoked")
+	}
+}
+
+func TestProtectPages(t *testing.T) {
+	ts, sa, _ := world()
+	st, _ := sa.New(1, 100*PageSize)
+	pd, _ := ts.NewProtectionDomain()
+	ts.GrantInitial(pd, st.ID(), Meta)
+	n, err := ts.ProtectPages(pd, st, Read)
+	if err != nil || n != 100 {
+		t.Fatalf("ProtectPages = %d %v", n, err)
+	}
+	// Idempotent: zero changes.
+	n, _ = ts.ProtectPages(pd, st, Read)
+	if n != 0 {
+		t.Fatalf("idempotent ProtectPages = %d", n)
+	}
+	// Per-page override grants access without PD rights.
+	other, _ := ts.NewProtectionDomain()
+	_, f := ts.Access(other, st.Base(), AccessRead)
+	if f == nil || f.Class != PageFault {
+		// Read allowed by page bits; page unmapped so page fault.
+		t.Fatalf("fault = %+v, want page fault (prot passed)", f)
+	}
+	// Without meta: rejected.
+	if _, err := ts.ProtectPages(other, st, Write); !errors.Is(err, ErrNoMeta) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFORFOWDirtyReferenced(t *testing.T) {
+	ts, sa, rt := world()
+	st, _ := sa.New(1, PageSize)
+	pd, _ := ts.NewProtectionDomain()
+	ts.GrantInitial(pd, st.ID(), Read|Write|Meta)
+	ownedFrame(rt, 1, 1)
+	va := st.Base()
+	ts.Map(pd, 1, va, 1, DefaultAttr())
+
+	if d, _ := ts.IsDirty(va); d {
+		t.Fatal("fresh page dirty")
+	}
+	if r, _ := ts.IsReferenced(va); r {
+		t.Fatal("fresh page referenced")
+	}
+	ts.Access(pd, va, AccessRead)
+	if r, _ := ts.IsReferenced(va); !r {
+		t.Fatal("read did not set referenced")
+	}
+	if d, _ := ts.IsDirty(va); d {
+		t.Fatal("read set dirty")
+	}
+	ts.Access(pd, va, AccessWrite)
+	if d, _ := ts.IsDirty(va); !d {
+		t.Fatal("write did not set dirty")
+	}
+	// FOW cleared after first write (set by software, cleared by DFault).
+	pte := ts.PageTable().Lookup(PageOf(va))
+	if pte.Attr.FOW || pte.Attr.FOR {
+		t.Fatal("fault bits not cleared")
+	}
+	if _, err := ts.IsDirty(0x0F000000); !errors.Is(err, ErrNotAllocated) {
+		t.Fatalf("IsDirty unallocated: %v", err)
+	}
+	if _, err := ts.IsReferenced(0x0F000000); !errors.Is(err, ErrNotAllocated) {
+		t.Fatalf("IsReferenced unallocated: %v", err)
+	}
+}
+
+func TestTLBBehaviour(t *testing.T) {
+	ts, sa, rt := world()
+	st, _ := sa.New(1, PageSize)
+	pd, _ := ts.NewProtectionDomain()
+	ts.GrantInitial(pd, st.ID(), Read|Write|Meta)
+	ownedFrame(rt, 1, 1)
+	va := st.Base()
+	ts.Map(pd, 1, va, 1, DefaultAttr())
+
+	m0 := ts.TLB().Misses()
+	ts.Access(pd, va, AccessRead) // miss + fill
+	if ts.TLB().Misses() != m0+1 {
+		t.Fatal("first access not a TLB miss")
+	}
+	h0 := ts.TLB().Hits()
+	ts.Access(pd, va, AccessRead) // hit
+	if ts.TLB().Hits() != h0+1 {
+		t.Fatal("second access not a TLB hit")
+	}
+	// A different ASN does not hit the same entry.
+	pd2, _ := ts.NewProtectionDomain()
+	ts.GrantInitial(pd2, st.ID(), Read)
+	m1 := ts.TLB().Misses()
+	ts.Access(pd2, va, AccessRead)
+	if ts.TLB().Misses() != m1+1 {
+		t.Fatal("cross-ASN access hit")
+	}
+	// Unmap shoots down all ASNs' entries.
+	ts.Unmap(pd, 1, va)
+	ownedFrame(rt, 2, 1)
+	ts.Map(pd, 1, va, 2, DefaultAttr())
+	pte, f := ts.Access(pd, va, AccessRead)
+	if f != nil || pte.PFN != 2 {
+		t.Fatalf("stale TLB entry after unmap: %+v %v", pte, f)
+	}
+}
+
+func TestTLBEviction(t *testing.T) {
+	var tlb TLB
+	pte := &PTE{}
+	for i := 0; i < TLBSize+1; i++ {
+		tlb.Fill(VPN(i), 1, pte)
+	}
+	if tlb.Lookup(0, 1) != nil {
+		t.Fatal("FIFO victim survived")
+	}
+	if tlb.Lookup(1, 1) == nil {
+		t.Fatal("recent entry evicted")
+	}
+	tlb.Flush()
+	if tlb.Lookup(1, 1) != nil {
+		t.Fatal("flush incomplete")
+	}
+}
+
+func TestDestroyProtectionDomainInvalidatesASN(t *testing.T) {
+	ts, sa, rt := world()
+	st, _ := sa.New(1, PageSize)
+	pd, _ := ts.NewProtectionDomain()
+	ts.GrantInitial(pd, st.ID(), Read|Meta)
+	ownedFrame(rt, 1, 1)
+	ts.Map(pd, 1, st.Base(), 1, DefaultAttr())
+	ts.Access(pd, st.Base(), AccessRead)
+	asn := pd.ASN()
+	ts.DestroyProtectionDomain(pd)
+	// Slots for that ASN are gone.
+	if ts.TLB().Lookup(PageOf(st.Base()), asn) != nil {
+		t.Fatal("ASN entries survive destruction")
+	}
+}
+
+func TestNail(t *testing.T) {
+	ts, sa, rt := world()
+	st, _ := sa.New(1, PageSize)
+	pd, _ := ts.NewProtectionDomain()
+	ts.GrantInitial(pd, st.ID(), Read|Write|Meta)
+	ownedFrame(rt, 1, 1)
+	va := st.Base()
+	if err := ts.Nail(pd, 1, va); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("nail unmapped: %v", err)
+	}
+	ts.Map(pd, 1, va, 1, DefaultAttr())
+	if err := ts.Nail(pd, 1, va); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := rt.State(1); s != mem.Nailed {
+		t.Fatalf("state = %v", s)
+	}
+	// Nailed pages cannot be unmapped.
+	if _, _, err := ts.Unmap(pd, 1, va); !errors.Is(err, mem.ErrFrameBusy) {
+		t.Fatalf("unmapped nailed page: %v", err)
+	}
+}
+
+// Property: map/unmap round trips preserve translation consistency — after
+// any sequence, Trans agrees with the last successful Map.
+func TestMapUnmapProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		ts, sa, rt := world()
+		st, err := sa.New(1, 8*PageSize)
+		if err != nil {
+			return false
+		}
+		pd, _ := ts.NewProtectionDomain()
+		ts.GrantInitial(pd, st.ID(), Read|Write|Meta)
+		for i := 0; i < 16; i++ {
+			ownedFrame(rt, mem.PFN(i), 1)
+		}
+		mapped := map[int]mem.PFN{} // page index -> pfn
+		usedPFN := map[mem.PFN]bool{}
+		for _, op := range ops {
+			page := int(op) % 8
+			pfn := mem.PFN(op) % 16
+			va := st.PageBase(page)
+			if op%2 == 0 {
+				err := ts.Map(pd, 1, va, pfn, DefaultAttr())
+				_, already := mapped[page]
+				if already || usedPFN[pfn] {
+					if err == nil {
+						return false // must have failed
+					}
+				} else if err != nil {
+					return false
+				} else {
+					mapped[page] = pfn
+					usedPFN[pfn] = true
+				}
+			} else {
+				got, _, err := ts.Unmap(pd, 1, va)
+				want, was := mapped[page]
+				if !was {
+					if err == nil {
+						return false
+					}
+				} else if err != nil || got != want {
+					return false
+				} else {
+					delete(mapped, page)
+					delete(usedPFN, want)
+				}
+			}
+			// Trans must agree with the model.
+			for pg := 0; pg < 8; pg++ {
+				pfn, _, err := ts.Trans(st.PageBase(pg))
+				want, ok := mapped[pg]
+				if ok != (err == nil) {
+					return false
+				}
+				if ok && pfn != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

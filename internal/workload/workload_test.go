@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"nemesis/internal/atropos"
+	"nemesis/internal/core"
+	"nemesis/internal/trace"
+	"nemesis/internal/usd"
+	"nemesis/internal/vm"
+)
+
+func smallSys() *core.System {
+	cfg := core.DefaultConfig()
+	cfg.MemoryFrames = 1024
+	return core.New(cfg)
+}
+
+func TestDefaultPagerConfig(t *testing.T) {
+	pc := DefaultPagerConfig("x", 25*time.Millisecond)
+	if pc.Name != "x" || pc.DiskQoS.S != 25*time.Millisecond || pc.DiskQoS.P != 250*time.Millisecond {
+		t.Fatalf("cfg = %+v", pc)
+	}
+	if pc.PhysFrames != 2 || pc.VirtBytes != 4<<20 || pc.SwapBytes != 16<<20 {
+		t.Fatalf("paper parameters wrong: %+v", pc)
+	}
+	if pc.DiskQoS.L != 10*time.Millisecond || pc.DiskQoS.X {
+		t.Fatalf("QoS = %+v", pc.DiskQoS)
+	}
+}
+
+func TestPagerInitialisesAndLoops(t *testing.T) {
+	sys := smallSys()
+	pc := DefaultPagerConfig("app", 100*time.Millisecond)
+	pc.VirtBytes = 64 * vm.PageSize // small for test speed
+	pc.SampleEvery = time.Second
+	var set trace.SeriesSet
+	pg, err := StartPager(sys, pc, set.New("app"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run until initialised plus a few sampling periods.
+	for i := 0; i < 120 && !pg.Initialised; i++ {
+		sys.Run(time.Second)
+	}
+	if !pg.Initialised {
+		t.Fatal("pager never initialised")
+	}
+	sys.Run(5 * time.Second)
+	if pg.Bytes <= 0 {
+		t.Fatal("no progress after init")
+	}
+	if len(set.Get("app").Points) == 0 {
+		t.Fatal("watch thread produced no samples")
+	}
+	// Samples are plausible bandwidths (positive, below disk media rate).
+	for _, p := range set.Get("app").Points {
+		if p.Value < 0 || p.Value > 50 {
+			t.Fatalf("sample %v implausible", p)
+		}
+	}
+	// The driver paged: a 64-page stretch over 2 frames must evict.
+	if pg.Drv.Stats.Evictions == 0 || pg.Drv.Stats.PageIns == 0 {
+		t.Fatalf("driver stats = %+v", pg.Drv.Stats)
+	}
+	sys.Shutdown()
+}
+
+func TestPagerSkipInit(t *testing.T) {
+	sys := smallSys()
+	pc := DefaultPagerConfig("app", 100*time.Millisecond)
+	pc.VirtBytes = 32 * vm.PageSize
+	pc.SkipInit = true
+	pg, err := StartPager(sys, pc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(100 * time.Millisecond)
+	if !pg.Initialised {
+		t.Fatal("SkipInit pager not immediately initialised")
+	}
+	sys.Run(5 * time.Second)
+	if pg.Bytes == 0 {
+		t.Fatal("no progress")
+	}
+	// Nil series must be safe.
+	pg.sample(sys.Sim.Now())
+	sys.Shutdown()
+}
+
+func TestForgetfulPagerWriteLoop(t *testing.T) {
+	sys := smallSys()
+	pc := DefaultPagerConfig("w", 100*time.Millisecond)
+	pc.VirtBytes = 32 * vm.PageSize
+	pc.Write = true
+	pc.Forgetful = true
+	pc.SkipInit = true
+	pg, err := StartPager(sys, pc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(10 * time.Second)
+	if pg.Drv.Stats.PageIns != 0 {
+		t.Fatalf("forgetful pager paged in %d", pg.Drv.Stats.PageIns)
+	}
+	if pg.Drv.Stats.PageOuts == 0 {
+		t.Fatal("no page-outs")
+	}
+	sys.Shutdown()
+}
+
+func TestFSClientStreams(t *testing.T) {
+	sys := smallSys()
+	part := usd.Extent{Start: 0, Count: sys.Disk.Geom.TotalBlocks / 4}
+	fcfg := DefaultFSClientConfig("fs", part)
+	fcfg.SampleEvery = time.Second
+	var set trace.SeriesSet
+	fc, err := StartFSClient(sys, fcfg, set.New("fs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(10 * time.Second)
+	if fc.Bytes == 0 {
+		t.Fatal("FS client made no progress")
+	}
+	// 50% guarantee over ~2ms transactions: order of 2 MB/s.
+	mbps := set.Get("fs").Mean()
+	if mbps < 8 || mbps > 40 {
+		t.Fatalf("FS bandwidth %.2f Mbit/s outside plausible range", mbps)
+	}
+	// Pipelined clients accrue (almost) no lax time.
+	st, _ := sys.USD.Stats("fs")
+	if st.LaxCharged > 50*time.Millisecond {
+		t.Fatalf("pipelined client charged %v lax", st.LaxCharged)
+	}
+	fc.Stop()
+	sys.Run(2 * time.Second)
+	b := fc.Bytes
+	sys.Run(2 * time.Second)
+	if fc.Bytes != b {
+		t.Fatal("client kept running after Stop")
+	}
+	sys.Shutdown()
+}
+
+func TestFSClientBadQoSRejected(t *testing.T) {
+	sys := smallSys()
+	part := usd.Extent{Start: 0, Count: 1000}
+	fcfg := DefaultFSClientConfig("fs", part)
+	fcfg.DiskQoS = atropos.QoS{P: 100 * time.Millisecond, S: 200 * time.Millisecond}
+	if _, err := StartFSClient(sys, fcfg, nil); err == nil {
+		t.Fatal("invalid QoS accepted")
+	}
+	sys.Shutdown()
+}
+
+func TestPagerString(t *testing.T) {
+	pg := &Pager{Cfg: PagerConfig{Name: "n"}, Bytes: 42}
+	if pg.String() != "n: 42 bytes" {
+		t.Fatalf("String = %q", pg.String())
+	}
+}
