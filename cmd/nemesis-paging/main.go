@@ -28,6 +28,7 @@ func main() {
 	ext := flag.Bool("ext", false, "run the extension experiments instead")
 	measure := flag.Duration("measure", 40*time.Second, "measured window of simulated time")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	metrics := flag.Bool("metrics", false, "enable fault-path telemetry and append span/metric summaries (figs 7/8)")
 	flag.Parse()
 
 	if *ext {
@@ -44,6 +45,7 @@ func main() {
 			opt.Write = true
 			opt.Forgetful = true
 		}
+		opt.Telemetry = *metrics
 		r, err := experiments.RunPaging(opt)
 		if err != nil {
 			log.Fatalf("nemesis-paging: %v", err)
@@ -63,6 +65,20 @@ func main() {
 		fmt.Printf("# max single lax charge per client (s) — must stay <= 0.010:\n")
 		for _, e := range sortedEntries(r.Log.MaxLax()) {
 			fmt.Printf("#   %s\t%.4f\n", e.k, e.v)
+		}
+		if *metrics {
+			fmt.Println("\n# per-domain snapshot:")
+			if err := r.Sys.WriteTopTable(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("\n# span hop latency breakdown:")
+			if err := r.Sys.Obs.WriteSpansTSV(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("\n# metric registry:")
+			if err := r.Sys.Obs.WriteMetricsTSV(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
 		}
 
 	case 9:

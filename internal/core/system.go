@@ -15,6 +15,7 @@ import (
 	"nemesis/internal/disk"
 	"nemesis/internal/domain"
 	"nemesis/internal/mem"
+	"nemesis/internal/obs"
 	"nemesis/internal/sfs"
 	"nemesis/internal/sim"
 	"nemesis/internal/stretchdrv"
@@ -44,6 +45,12 @@ type Config struct {
 	// i.e. comfortably more than a disk QoS period — or cooperative
 	// domains get killed for waiting on their own disk slice.
 	RevocationTimeout time.Duration
+	// Telemetry enables the observability registry: fault spans, metric
+	// series and the crosstalk monitor. Off by default; when off, the
+	// fault fast path carries no instrumentation cost at all.
+	Telemetry bool
+	// SpanCap bounds the retained-span ring (0 = obs.DefaultSpanCap).
+	SpanCap int
 }
 
 // DefaultConfig returns the paper's evaluation platform: 64 MB of memory
@@ -78,9 +85,12 @@ type System struct {
 	// USDLog receives the USD scheduler trace (transactions, laxity,
 	// allocations) used to regenerate the paper's figures.
 	USDLog *trace.Log
+	// Obs is the telemetry registry, nil unless Config.Telemetry is set.
+	Obs *obs.Registry
 
 	domains map[mem.DomainID]*domain.Domain
 	nextID  mem.DomainID
+	monitor *obs.CrosstalkMonitor
 }
 
 // New builds a System from cfg.
@@ -96,8 +106,18 @@ func New(cfg Config) *System {
 	sa := vm.NewStretchAllocator(ts, cfg.VALow, cfg.VAHigh)
 	sched := cpu.NewScheduler(s)
 	sched.Costs = cfg.Costs
+	var reg *obs.Registry
+	if cfg.Telemetry {
+		reg = obs.NewRegistry(s.Now)
+		if cfg.SpanCap > 0 {
+			reg.SetSpanCap(cfg.SpanCap)
+		}
+		frames.SetObs(reg)
+	}
 	d := disk.New(s, cfg.DiskGeometry)
+	d.SetObs(reg)
 	u := usd.New(s, d)
+	u.Obs = reg
 	log := &trace.Log{}
 	u.Log = log
 	swapPart := cfg.SwapPartition
@@ -119,6 +139,7 @@ func New(cfg Config) *System {
 		USD:     u,
 		SFS:     fs,
 		USDLog:  log,
+		Obs:     reg,
 		domains: make(map[mem.DomainID]*domain.Domain),
 		nextID:  1, // 0 is the system domain
 	}
@@ -142,6 +163,7 @@ func (sys *System) env() domain.Env {
 		Store:  sys.Store,
 		RamTab: sys.RamTab,
 		Costs:  sys.Config.Costs,
+		Obs:    sys.Obs,
 	}
 }
 
@@ -166,6 +188,7 @@ func (sys *System) NewDomain(name string, cpuQoS atropos.QoS, ct mem.Contract) (
 		return nil, err
 	}
 	dom.SetMemClient(memc)
+	memc.SetTelemetryName(name)
 	sys.domains[id] = dom
 	sys.nextID++
 	return dom, nil
@@ -288,8 +311,11 @@ func (sys *System) Run(d time.Duration) { sys.Sim.RunFor(d) }
 // RunUntilIdle drains the event queue (bounded by maxEvents).
 func (sys *System) RunUntilIdle(maxEvents int) { sys.Sim.RunUntilIdle(maxEvents) }
 
-// Shutdown stops background service loops (currently the USD) so
-// RunUntilIdle terminates.
+// Shutdown stops background service loops (the USD and the crosstalk
+// monitor, if running) so RunUntilIdle terminates.
 func (sys *System) Shutdown() {
+	if sys.monitor != nil {
+		sys.monitor.Stop()
+	}
 	sys.USD.Stop()
 }

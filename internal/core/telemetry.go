@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"nemesis/internal/obs"
+)
+
+// StartCrosstalkMonitor begins periodic QoS-crosstalk sampling over all
+// currently admitted domains, flagging windows in which one domain's
+// paging activity surges while another's progress collapses. It requires
+// Config.Telemetry; with telemetry off it returns nil. The monitor is
+// stopped by Shutdown.
+func (sys *System) StartCrosstalkMonitor(cfg obs.CrosstalkConfig) *obs.CrosstalkMonitor {
+	if sys.Obs == nil {
+		return nil
+	}
+	sample := func() ([]obs.DomainSample, obs.Pressure) {
+		doms := sys.Domains()
+		out := make([]obs.DomainSample, 0, len(doms))
+		for _, d := range doms {
+			st := d.Stats()
+			out = append(out, obs.DomainSample{
+				Name:        d.Name(),
+				Faults:      st.Faults,
+				Progress:    st.BytesTouched,
+				Revocations: st.Revocations,
+			})
+		}
+		return out, obs.Pressure{FreeFrames: sys.Frames.FreeFrames()}
+	}
+	sys.monitor = obs.NewCrosstalkMonitor(sys.Obs, sys.Sim, cfg, sample)
+	sys.monitor.Start()
+	return sys.monitor
+}
+
+// CrosstalkMonitor returns the running monitor, or nil.
+func (sys *System) CrosstalkMonitor() *obs.CrosstalkMonitor { return sys.monitor }
+
+// WriteTopTable renders a per-domain snapshot table (the heart of
+// nemesis-top): fault counters split by path, paging traffic, revocations,
+// frames held, and the end-to-end page-fault latency distribution. Returns
+// an error if telemetry is disabled.
+func (sys *System) WriteTopTable(w io.Writer) error {
+	if sys.Obs == nil {
+		return fmt.Errorf("core: telemetry disabled (Config.Telemetry)")
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "DOMAIN\tFAULTS\tFAST\tWORKER\tPGIN\tPGOUT\tREVOKE\tFRAMES\tP50ms\tP95ms\tP99ms\tMAXms\t\n")
+	for _, d := range sys.Domains() {
+		st := d.Stats()
+		name := d.Name()
+		pgin := sys.Obs.LookupCounter("driver", "pageins", name)
+		pgout := sys.Obs.LookupCounter("driver", "pageouts", name)
+		e2e := sys.Obs.LookupHistogram("span", "e2e.page", name)
+		frames := uint64(0)
+		if c := d.MemClient(); c != nil {
+			frames = c.Allocated()
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t\n",
+			name, st.Faults, st.FastPath, st.WorkerPath,
+			pgin.Value(), pgout.Value(), st.Revocations, frames,
+			quantMs(e2e, 0.50), quantMs(e2e, 0.95), quantMs(e2e, 0.99), maxMs(e2e))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "free frames: %d   spans recorded: %d   crosstalk flags: %d   t=%.0fms\n",
+		sys.Frames.FreeFrames(), sys.Obs.SpanTotal(), len(sys.Obs.Flags()),
+		sys.Obs.Now().Milliseconds())
+	return nil
+}
+
+func quantMs(h *obs.Histogram, q float64) string {
+	if h == nil || h.Count() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", h.Quantile(q).Seconds()*1e3)
+}
+
+func maxMs(h *obs.Histogram) string {
+	if h == nil || h.Count() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", h.Max().Seconds()*1e3)
+}

@@ -17,6 +17,7 @@ import (
 	"math"
 	"time"
 
+	"nemesis/internal/obs"
 	"nemesis/internal/sim"
 )
 
@@ -169,6 +170,21 @@ type Disk struct {
 	tick  uint64
 	head  int64 // current cylinder
 	stats Stats
+
+	// Telemetry handles, nil unless SetObs was called.
+	hRead, hWrite *obs.Histogram
+	cCacheHits    *obs.Counter
+}
+
+// SetObs attaches a telemetry registry: per-request service-time
+// histograms and a cache-hit counter.
+func (d *Disk) SetObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	d.hRead = r.Histogram("disk", "service.read", "")
+	d.hWrite = r.Histogram("disk", "service.write", "")
+	d.cCacheHits = r.Counter("disk", "cache_hits", "")
 }
 
 // New returns a drive with the given geometry attached to s.
@@ -253,6 +269,7 @@ func (d *Disk) ServiceTime(now sim.Time, op Op, block int64, count int) time.Dur
 		// media and interface transfer times. This bounds aggregate
 		// streaming throughput by the media rate.
 		d.stats.CacheHits++
+		d.cCacheHits.Inc()
 		xfer := g.MediaTransferTime(count)
 		if ifx := g.InterfaceTransferTime(count); ifx > xfer {
 			xfer = ifx
@@ -313,6 +330,7 @@ func (d *Disk) ReadAt(p *sim.Proc, block int64, count int, buf []byte) error {
 	dur := d.ServiceTime(d.sim.Now(), Read, block, count)
 	d.stats.Reads++
 	d.stats.BlocksRead += int64(count)
+	d.hRead.Observe(dur)
 	p.Sleep(dur)
 	for i := 0; i < count; i++ {
 		dst := buf[i*BlockSize : (i+1)*BlockSize]
@@ -339,6 +357,7 @@ func (d *Disk) WriteAt(p *sim.Proc, block int64, count int, buf []byte) error {
 	dur := d.ServiceTime(d.sim.Now(), Write, block, count)
 	d.stats.Writes++
 	d.stats.BlocksWritten += int64(count)
+	d.hWrite.Observe(dur)
 	p.Sleep(dur)
 	for i := 0; i < count; i++ {
 		b := make([]byte, BlockSize)

@@ -14,6 +14,7 @@ import (
 	"nemesis/internal/cpu"
 	"nemesis/internal/fault"
 	"nemesis/internal/mem"
+	"nemesis/internal/obs"
 	"nemesis/internal/sim"
 	"nemesis/internal/vm"
 )
@@ -81,6 +82,9 @@ type Env struct {
 	Store  *mem.FrameStore
 	RamTab *mem.RamTab
 	Costs  cpu.Costs
+	// Obs is the telemetry registry; nil disables all instrumentation at
+	// zero cost (every obs handle method is nil-safe).
+	Obs *obs.Registry
 }
 
 // Stats counts a domain's memory-system activity.
@@ -116,6 +120,17 @@ type Domain struct {
 	threads []*Thread
 	killed  bool
 	stats   Stats
+
+	// lastFault is the most recent fault record the kernel made available
+	// to this domain at dispatch.
+	lastFault fault.Record
+
+	// Cached telemetry handles (nil when Env.Obs is nil → no-ops, and the
+	// fault fast path stays allocation-free).
+	cFaults      *obs.Counter
+	cFast        *obs.Counter
+	cWorker      *obs.Counter
+	cRevocations *obs.Counter
 }
 
 // New creates a domain. pd/cpuDom/memc come from the system facade, which
@@ -130,6 +145,12 @@ func New(env Env, id mem.DomainID, name string, pd *vm.ProtectionDomain, cpuDom 
 		memc:     memc,
 		drivers:  make(map[vm.StretchID]Driver),
 		handlers: make(map[vm.FaultClass]FaultHandler),
+	}
+	if env.Obs != nil {
+		d.cFaults = env.Obs.Counter("domain", "faults", name)
+		d.cFast = env.Obs.Counter("domain", "faults_fast", name)
+		d.cWorker = env.Obs.Counter("domain", "faults_worker", name)
+		d.cRevocations = env.Obs.Counter("domain", "revocations", name)
 	}
 	d.mm = newMMEntry(d)
 	return d
@@ -248,8 +269,12 @@ func (d *Domain) RevokeNotification(k int, deadline sim.Time) {
 	}
 	d.revokeEvent.Send()
 	d.stats.Revocations++
+	d.cRevocations.Inc()
 	d.mm.enqueueRevocation(k)
 }
+
+// LastFaultRecord returns the fault record of the most recent dispatch.
+func (d *Domain) LastFaultRecord() fault.Record { return d.lastFault }
 
 // dispatchFault is the kernel + activation path for a fault raised by t.
 // It blocks t until the fault is resolved, and returns an error if the
@@ -267,31 +292,45 @@ func (d *Domain) dispatchFault(t *Thread, f *vm.Fault) error {
 	case vm.UnallocatedFault:
 		d.stats.UnallocFaults++
 	}
+	d.cFaults.Inc()
 
-	// Kernel part: save the activation context and send an event to the
-	// faulting domain — then the kernel is done.
+	// Kernel part: save the activation context, record the fault for the
+	// application and send an event to the faulting domain — then the
+	// kernel is done. The span opens here: hop "dispatch" covers the trap
+	// and activation delivery.
+	d.lastFault = fault.Record{Fault: f, Thread: t.name, At: d.env.Sim.Now()}
+	sp := d.env.Obs.StartSpan(d.name, f.Class.String())
+	sp.SetThread(t.name)
+	sp.BeginHop("dispatch")
+	f.Span = sp
 	d.faultEvent.Send()
 	t.Compute(d.env.Costs.TrapCost())
 
 	// The domain is activated and its notification handler demultiplexes
-	// the event (charged as part of the user fault path below).
+	// the event (charged as part of the user fault path below). Hop
+	// "mmentry" covers the handler up to driver (or handler) entry.
+	sp.BeginHop("mmentry")
 	if h, ok := d.handlers[f.Class]; ok {
 		t.Compute(d.env.Costs.UserFaultPath)
 		if h(t, f) {
+			sp.Finish("handler")
 			return nil
 		}
+		sp.Finish("fatal")
 		return fmt.Errorf("%w: handler declined %v", ErrFaulted, f)
 	}
 
 	if f.Class != vm.PageFault {
 		// No safety net: an unhandled protection or unallocated fault is
 		// fatal to the domain.
+		sp.Finish("fatal")
 		d.Kill()
 		return fmt.Errorf("%w: %v", ErrFaulted, f)
 	}
 
 	drv := d.drivers[f.SID]
 	if drv == nil {
+		sp.Finish("fatal")
 		d.Kill()
 		return fmt.Errorf("%w: stretch %d", ErrNoDriver, f.SID)
 	}
@@ -302,19 +341,27 @@ func (d *Domain) dispatchFault(t *Thread, f *vm.Fault) error {
 	switch drv.SatisfyFault(t.proc, f, false) {
 	case Success:
 		d.stats.FastPath++
+		d.cFast.Inc()
+		sp.Finish("fast")
 		return nil
 	case Failure:
+		sp.Finish("fatal")
 		d.Kill()
 		return fmt.Errorf("%w: %v", ErrFaulted, f)
 	}
 
 	// Retry: block the faulting thread and let a worker, with
-	// activations on, resolve the fault (IDC permitted).
+	// activations on, resolve the fault (IDC permitted). Hop "queue"
+	// covers the wait until the worker invokes the driver.
 	d.stats.WorkerPath++
+	d.cWorker.Inc()
+	sp.BeginHop("queue")
 	ok := d.mm.resolve(t.proc, f)
 	if !ok {
+		sp.Finish("fatal")
 		d.Kill()
 		return fmt.Errorf("%w: worker failed on %v", ErrFaulted, f)
 	}
+	sp.Finish("worker")
 	return nil
 }

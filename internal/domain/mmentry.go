@@ -1,6 +1,7 @@
 package domain
 
 import (
+	"nemesis/internal/obs"
 	"nemesis/internal/sim"
 	"nemesis/internal/vm"
 )
@@ -25,10 +26,16 @@ type MMEntry struct {
 	wake    *sim.Cond
 	worker  *sim.Proc
 	stopped bool
+
+	// gQueue tracks the outstanding-job depth (nil when telemetry is off).
+	gQueue *obs.Gauge
 }
 
 func newMMEntry(d *Domain) *MMEntry {
 	mm := &MMEntry{dom: d, wake: sim.NewCond(d.env.Sim)}
+	if d.env.Obs != nil {
+		mm.gQueue = d.env.Obs.Gauge("domain", "mm_queue", d.name)
+	}
 	mm.worker = d.env.Sim.Spawn(d.name+"/mm-worker", mm.run)
 	return mm
 }
@@ -40,6 +47,7 @@ func (mm *MMEntry) QueueLen() int { return len(mm.queue) }
 func (mm *MMEntry) resolve(p *sim.Proc, f *vm.Fault) bool {
 	j := &job{fault: f, done: sim.NewCond(mm.dom.env.Sim)}
 	mm.queue = append(mm.queue, j)
+	mm.gQueue.Set(int64(len(mm.queue)))
 	mm.wake.Signal()
 	for !j.isDone {
 		j.done.Wait(p)
@@ -50,6 +58,7 @@ func (mm *MMEntry) resolve(p *sim.Proc, f *vm.Fault) bool {
 // enqueueRevocation queues an asynchronous revocation job.
 func (mm *MMEntry) enqueueRevocation(k int) {
 	mm.queue = append(mm.queue, &job{k: k})
+	mm.gQueue.Set(int64(len(mm.queue)))
 	mm.wake.Signal()
 }
 
@@ -80,6 +89,7 @@ func (mm *MMEntry) run(p *sim.Proc) {
 		}
 		j := mm.queue[0]
 		mm.queue = mm.queue[1:]
+		mm.gQueue.Set(int64(len(mm.queue)))
 
 		// The worker runs on the domain's own CPU guarantee.
 		d.cpu.Compute(p, d.env.Costs.IDCRoundTrip)

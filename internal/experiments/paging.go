@@ -11,6 +11,7 @@ import (
 
 	"nemesis/internal/atropos"
 	"nemesis/internal/core"
+	"nemesis/internal/obs"
 	"nemesis/internal/trace"
 	"nemesis/internal/usd"
 	"nemesis/internal/workload"
@@ -42,6 +43,14 @@ type PagingOptions struct {
 	// SampleEvery is the watch-thread period (paper: 5 s).
 	SampleEvery time.Duration
 	Seed        int64
+	// Telemetry enables the observability registry (fault spans, metric
+	// series) and starts the QoS-crosstalk monitor on the system.
+	Telemetry bool
+	// SnapshotEvery, with Telemetry, invokes OnSnapshot at this period of
+	// simulated time during the measured window — nemesis-top uses it to
+	// render periodic per-domain tables.
+	SnapshotEvery time.Duration
+	OnSnapshot    func(sys *core.System)
 }
 
 // DefaultPagingOptions returns the paper's parameters for Fig. 7.
@@ -97,9 +106,13 @@ func RunPaging(opt PagingOptions) (*PagingResult, error) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = opt.Seed
 	cfg.MemoryFrames = 2048 // 16 MB: ample, contention is per-contract
+	cfg.Telemetry = opt.Telemetry
 	sys := core.New(cfg)
 	sys.USD.LaxityEnabled = opt.LaxityEnabled
 	sys.USD.FCFS = opt.FCFS
+	if opt.Telemetry {
+		sys.StartCrosstalkMonitor(obs.DefaultCrosstalkConfig())
+	}
 
 	res := &PagingResult{Opts: opt, Sys: sys, Set: &trace.SeriesSet{}, Log: sys.USDLog}
 	for i, slice := range opt.Slices {
@@ -138,7 +151,19 @@ func RunPaging(opt PagingOptions) (*PagingResult, error) {
 	}
 	res.MeasureStart = sys.Sim.Now().Duration()
 
-	sys.Run(opt.Measure)
+	if opt.Telemetry && opt.SnapshotEvery > 0 && opt.OnSnapshot != nil {
+		for remaining := opt.Measure; remaining > 0; {
+			step := opt.SnapshotEvery
+			if step > remaining {
+				step = remaining
+			}
+			sys.Run(step)
+			remaining -= step
+			opt.OnSnapshot(sys)
+		}
+	} else {
+		sys.Run(opt.Measure)
+	}
 
 	start := sys.Sim.Now().Add(-opt.Measure)
 	for _, pg := range res.Pagers {

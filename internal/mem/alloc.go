@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"nemesis/internal/obs"
 	"nemesis/internal/sim"
 )
 
@@ -51,6 +52,26 @@ type FramesAllocator struct {
 	OnKill func(DomainID)
 
 	revoking bool
+
+	// Telemetry (all handles nil when disabled; every use is a no-op).
+	obs          *obs.Registry
+	gFree        *obs.Gauge
+	cTransparent *obs.Counter
+	cIntrusive   *obs.Counter
+	cTimeouts    *obs.Counter
+	hRevoke      *obs.Histogram
+}
+
+// SetObs attaches a telemetry registry. Call before admitting clients so
+// per-client handles are created with it; a nil registry disables telemetry.
+func (fa *FramesAllocator) SetObs(r *obs.Registry) {
+	fa.obs = r
+	fa.gFree = r.Gauge("frames", "free", "")
+	fa.cTransparent = r.Counter("frames", "revocations_transparent", "")
+	fa.cIntrusive = r.Counter("frames", "revocations_intrusive", "")
+	fa.cTimeouts = r.Counter("frames", "revocation_timeouts", "")
+	fa.hRevoke = r.Histogram("frames", "revocation_latency", "")
+	fa.gFree.Set(int64(len(fa.freeList)))
 }
 
 // NewFramesAllocator creates an allocator over store/ramtab (which must
@@ -101,8 +122,39 @@ type Client struct {
 
 	pendingK        int
 	pendingDeadline sim.Time
+	pendingSince    sim.Time
 	pendingTimer    sim.Timer
 	killed          bool
+
+	// Telemetry handles (nil when disabled).
+	gHeld      *obs.Gauge
+	gStack     *obs.Gauge
+	hAllocWait *obs.Histogram
+}
+
+// initTelemetry (re)creates the client's cached metric handles under label.
+func (c *Client) initTelemetry(label string) {
+	c.gHeld = c.fa.obs.Gauge("frames", "held", label)
+	c.gStack = c.fa.obs.Gauge("frames", "stack_depth", label)
+	c.hAllocWait = c.fa.obs.Histogram("frames", "alloc_wait", label)
+}
+
+// SetTelemetryName relabels the client's metrics (the allocator only knows
+// domain IDs; the system facade knows names).
+func (c *Client) SetTelemetryName(name string) {
+	if c.fa.obs == nil {
+		return
+	}
+	c.initTelemetry(name)
+	c.updateGauges()
+}
+
+// updateGauges refreshes the client's level gauges and the allocator's
+// free-frames gauge.
+func (c *Client) updateGauges() {
+	c.gHeld.Set(int64(c.n))
+	c.gStack.Set(int64(len(c.stack.Entries())))
+	c.fa.gFree.Set(int64(len(c.fa.freeList)))
 }
 
 // Admit registers a domain with contract ct. Admission control ensures the
@@ -110,13 +162,16 @@ type Client struct {
 // met simultaneously.
 func (fa *FramesAllocator) Admit(domain DomainID, ct Contract, h RevocationHandler) (*Client, error) {
 	if _, dup := fa.clients[domain]; dup {
-		return nil, fmt.Errorf("mem: domain %d already admitted", domain)
+		return nil, fmt.Errorf("%w: %d", ErrAlreadyAdmitted, domain)
 	}
 	if fa.GuaranteedTotal()+ct.Guaranteed > uint64(fa.store.NFrames()) {
 		return nil, fmt.Errorf("%w: %d + %d > %d frames", ErrOverbooked,
 			fa.GuaranteedTotal(), ct.Guaranteed, fa.store.NFrames())
 	}
 	c := &Client{fa: fa, domain: domain, contract: ct, handler: h}
+	if fa.obs != nil {
+		c.initTelemetry(fmt.Sprintf("dom%d", domain))
+	}
 	fa.clients[domain] = c
 	return c, nil
 }
@@ -170,6 +225,7 @@ func (fa *FramesAllocator) grant(c *Client, pfn PFN) {
 	fa.ramtab.Grant(pfn, c.domain, 0)
 	c.stack.PushTop(pfn)
 	c.n++
+	c.updateGauges()
 }
 
 // TryAllocFrame allocates one frame without blocking and without triggering
@@ -196,9 +252,13 @@ func (c *Client) TryAllocFrame() (PFN, error) {
 // requests (n >= g) never trigger revocation and fail immediately when
 // memory is tight.
 func (c *Client) AllocFrame(p *sim.Proc) (PFN, error) {
+	start := c.fa.sim.Now()
 	for {
 		pfn, err := c.TryAllocFrame()
 		if err == nil {
+			if waited := c.fa.sim.Now().Sub(start); waited > 0 {
+				c.hAllocWait.Observe(waited)
+			}
 			return pfn, nil
 		}
 		if !errors.Is(err, ErrNoMemory) {
@@ -211,6 +271,9 @@ func (c *Client) AllocFrame(p *sim.Proc) (PFN, error) {
 		// Transparent revocation frees frames synchronously — retry
 		// before sleeping so the wakeup is not lost.
 		if pfn, err := c.TryAllocFrame(); err == nil {
+			if waited := c.fa.sim.Now().Sub(start); waited > 0 {
+				c.hAllocWait.Observe(waited)
+			}
 			return pfn, nil
 		}
 		c.fa.freed.Wait(p)
@@ -348,6 +411,7 @@ func (c *Client) FreeFrame(pfn PFN) error {
 	c.stack.Remove(pfn)
 	c.n--
 	c.fa.freeList = append(c.fa.freeList, pfn)
+	c.updateGauges()
 	c.fa.freed.Broadcast()
 	return nil
 }
@@ -412,6 +476,7 @@ func (fa *FramesAllocator) revokeFrom(victim *Client, k int) {
 	// Transparent revocation: if the top of the victim's stack is unused,
 	// reclaim it without troubling the application.
 	if got := fa.reclaimTopUnused(victim, k); got >= k {
+		fa.cTransparent.Inc()
 		fa.revoking = false
 		return
 	} else {
@@ -422,6 +487,7 @@ func (fa *FramesAllocator) revokeFrom(victim *Client, k int) {
 	deadline := fa.sim.Now().Add(fa.RevocationTimeout)
 	victim.pendingK = k
 	victim.pendingDeadline = deadline
+	victim.pendingSince = fa.sim.Now()
 	victim.pendingTimer = fa.sim.At(deadline, func() { fa.revocationTimeout(victim) })
 	if victim.handler != nil {
 		victim.handler.RevokeNotification(k, deadline)
@@ -451,6 +517,7 @@ func (fa *FramesAllocator) reclaimTopUnused(victim *Client, k int) int {
 		got++
 	}
 	if got > 0 {
+		victim.updateGauges()
 		fa.freed.Broadcast()
 	}
 	return got
@@ -467,6 +534,8 @@ func (c *Client) RevocationComplete() {
 	k := c.pendingK
 	c.pendingTimer.Stop()
 	c.pendingK = 0
+	fa.cIntrusive.Inc()
+	fa.hRevoke.Observe(fa.sim.Now().Sub(c.pendingSince))
 	if fa.reclaimTopUnused(c, k) < k {
 		fa.kill(c)
 	}
@@ -479,6 +548,7 @@ func (fa *FramesAllocator) revocationTimeout(victim *Client) {
 		return
 	}
 	victim.pendingK = 0
+	fa.cTimeouts.Inc()
 	fa.kill(victim)
 	fa.revoking = false
 }
@@ -494,6 +564,7 @@ func (fa *FramesAllocator) kill(c *Client) {
 	}
 	c.stack.entries = nil
 	c.n = 0
+	c.updateGauges()
 	if fa.OnKill != nil {
 		fa.OnKill(c.domain)
 	}

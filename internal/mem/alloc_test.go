@@ -35,6 +35,25 @@ func TestAdmissionControlFrames(t *testing.T) {
 	}
 }
 
+// TestSentinelErrors: the canonical sentinel names are reachable via
+// errors.Is, and the historical ErrQuota alias still matches.
+func TestSentinelErrors(t *testing.T) {
+	_, fa := newAlloc(4)
+	c, _ := fa.Admit(1, Contract{Guaranteed: 2}, nil)
+	c.TryAllocFrame()
+	c.TryAllocFrame()
+	_, err := c.TryAllocFrame()
+	if !errors.Is(err, ErrContractExhausted) {
+		t.Fatalf("not ErrContractExhausted: %v", err)
+	}
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("ErrQuota alias broken: %v", err)
+	}
+	if _, err := fa.Admit(1, Contract{}, nil); !errors.Is(err, ErrAlreadyAdmitted) {
+		t.Fatalf("not ErrAlreadyAdmitted: %v", err)
+	}
+}
+
 func TestGuaranteedAllocationAlwaysSucceeds(t *testing.T) {
 	_, fa := newAlloc(8)
 	c, _ := fa.Admit(1, Contract{Guaranteed: 5}, nil)

@@ -24,17 +24,25 @@ type DomainID uint32
 // SystemDomain is the distinguished system domain.
 const SystemDomain DomainID = 0
 
-// Errors returned by the physical memory subsystem.
+// Errors returned by the physical memory subsystem. All are sentinels:
+// callers match with errors.Is, never by string.
 var (
-	ErrNoMemory      = errors.New("mem: out of physical memory")
-	ErrQuota         = errors.New("mem: allocation would exceed contracted quota")
-	ErrOverbooked    = errors.New("mem: admission would overcommit guaranteed frames")
-	ErrNotOwner      = errors.New("mem: frame not owned by caller")
-	ErrBadFrame      = errors.New("mem: frame number out of range")
-	ErrFrameBusy     = errors.New("mem: frame is mapped or nailed")
-	ErrUnknownClient = errors.New("mem: unknown client domain")
-	ErrKilledByAlloc = errors.New("mem: domain killed for failing revocation")
+	ErrNoMemory = errors.New("mem: out of physical memory")
+	// ErrContractExhausted reports an allocation beyond the client's
+	// contracted g+o frames.
+	ErrContractExhausted = errors.New("mem: allocation would exceed contracted quota")
+	ErrOverbooked        = errors.New("mem: admission would overcommit guaranteed frames")
+	ErrNotOwner          = errors.New("mem: frame not owned by caller")
+	ErrBadFrame          = errors.New("mem: frame number out of range")
+	ErrFrameBusy         = errors.New("mem: frame is mapped or nailed")
+	ErrUnknownClient     = errors.New("mem: unknown client domain")
+	ErrAlreadyAdmitted   = errors.New("mem: domain already admitted")
+	ErrKilledByAlloc     = errors.New("mem: domain killed for failing revocation")
 )
+
+// ErrQuota is the historical name for ErrContractExhausted; errors.Is
+// matches either.
+var ErrQuota = ErrContractExhausted
 
 // FrameStore is the simulated physical memory: nframes frames of PageSize
 // bytes, allocated lazily so large memories cost only what is touched.

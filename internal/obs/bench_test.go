@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// faultPathObsCalls replicates the exact telemetry call sequence the fault
+// fast path makes, against a possibly-nil registry and cached handles.
+func faultPathObsCalls(r *Registry, faults, fast *Counter, lat *Histogram) {
+	sp := r.StartSpan("d1", "page")
+	sp.BeginHop("dispatch")
+	faults.Inc()
+	sp.BeginHop("driver")
+	sp.BeginHop("map")
+	fast.Inc()
+	lat.Observe(3 * time.Microsecond)
+	sp.Finish("fast")
+}
+
+// TestDisabledFaultPathZeroAllocs is the acceptance criterion: with
+// telemetry disabled (nil registry and nil cached handles) the fault fast
+// path's instrumentation performs zero allocations.
+func TestDisabledFaultPathZeroAllocs(t *testing.T) {
+	var r *Registry
+	allocs := testing.AllocsPerRun(1000, func() {
+		faultPathObsCalls(r, nil, nil, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry allocated %.1f allocs/op on the fault path", allocs)
+	}
+}
+
+func BenchmarkFaultPathTelemetryDisabled(b *testing.B) {
+	var r *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		faultPathObsCalls(r, nil, nil, nil)
+	}
+}
+
+func BenchmarkFaultPathTelemetryEnabled(b *testing.B) {
+	fc := &fakeClock{}
+	r := NewRegistry(fc.now)
+	faults := r.Counter("domain", "faults", "d1")
+	fast := r.Counter("domain", "faults_fast", "d1")
+	lat := r.Histogram("domain", "fault_latency", "d1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fc.advance(time.Microsecond)
+		faultPathObsCalls(r, faults, fast, lat)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	fc := &fakeClock{}
+	r := NewRegistry(fc.now)
+	h := r.Histogram("usd", "service", "d1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}

@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nemesis/internal/sim"
+)
+
+// DomainSample is one domain's cumulative activity, read by the crosstalk
+// monitor each period. All fields are running totals; the monitor differences
+// successive samples to obtain per-window rates.
+type DomainSample struct {
+	Name        string
+	Faults      int64 // cumulative faults dispatched
+	Progress    int64 // cumulative useful-work units (e.g. accesses completed)
+	Revocations int64 // cumulative frames revoked from the domain
+}
+
+// Pressure is the system-wide memory pressure at a sampling instant.
+type Pressure struct {
+	FreeFrames int
+}
+
+// CrosstalkConfig tunes the monitor.
+type CrosstalkConfig struct {
+	// Period between samples (simulated time).
+	Period time.Duration
+	// Baseline is how many prior windows form the trailing-mean baseline.
+	Baseline int
+	// DegradeFrac: a domain is a victim when its progress rate falls below
+	// DegradeFrac × its baseline progress rate.
+	DegradeFrac float64
+	// SurgeFrac: a domain is a suspect when its fault rate exceeds
+	// SurgeFrac × its baseline fault rate.
+	SurgeFrac float64
+}
+
+// DefaultCrosstalkConfig returns the defaults: 1 s windows, a 4-window
+// baseline, victim below 70% of baseline, suspect above 150% of baseline.
+func DefaultCrosstalkConfig() CrosstalkConfig {
+	return CrosstalkConfig{
+		Period:      time.Second,
+		Baseline:    4,
+		DegradeFrac: 0.7,
+		SurgeFrac:   1.5,
+	}
+}
+
+func (c *CrosstalkConfig) fillDefaults() {
+	d := DefaultCrosstalkConfig()
+	if c.Period <= 0 {
+		c.Period = d.Period
+	}
+	if c.Baseline < 1 {
+		c.Baseline = d.Baseline
+	}
+	if c.DegradeFrac <= 0 {
+		c.DegradeFrac = d.DegradeFrac
+	}
+	if c.SurgeFrac <= 0 {
+		c.SurgeFrac = d.SurgeFrac
+	}
+}
+
+// Flag records one detected crosstalk window: while the suspect domain's
+// fault rate surged, the victim domain's progress fell below its baseline.
+// In a correctly firewalled self-paging system flags should stay rare even
+// under memory pressure; a burst of them is the live counterpart of a
+// trace.Log.ValidateGuarantees violation.
+type Flag struct {
+	At              sim.Time      `json:"at_ns"`
+	Window          time.Duration `json:"window_ns"`
+	Victim          string        `json:"victim"`
+	Suspect         string        `json:"suspect"`
+	VictimRate      float64       `json:"victim_progress_per_s"`
+	VictimBaseline  float64       `json:"victim_baseline_per_s"`
+	SuspectRate     float64       `json:"suspect_faults_per_s"`
+	SuspectBaseline float64       `json:"suspect_baseline_per_s"`
+	FreeFrames      int           `json:"free_frames"`
+}
+
+func (r *Registry) addFlag(f Flag) {
+	if r == nil {
+		return
+	}
+	r.flags = append(r.flags, f)
+}
+
+// Flags returns all crosstalk flags recorded so far.
+func (r *Registry) Flags() []Flag {
+	if r == nil {
+		return nil
+	}
+	return r.flags
+}
+
+// WriteFlagsTSV renders the crosstalk flags as TSV.
+func (r *Registry) WriteFlagsTSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "at_s\twindow_ms\tvictim\tsuspect\tvictim_per_s\tvictim_base_per_s\tsuspect_faults_per_s\tsuspect_base_per_s\tfree_frames"); err != nil {
+		return err
+	}
+	for _, f := range r.flags {
+		if _, err := fmt.Fprintf(w, "%.3f\t%.1f\t%s\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%d\n",
+			f.At.Seconds(), float64(f.Window)/1e6, f.Victim, f.Suspect,
+			f.VictimRate, f.VictimBaseline, f.SuspectRate, f.SuspectBaseline, f.FreeFrames); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// domainHistory is the monitor's per-domain trailing state.
+type domainHistory struct {
+	prev     DomainSample
+	havePrev bool
+	progress []float64 // recent per-window progress rates (per second)
+	faults   []float64 // recent per-window fault rates (per second)
+}
+
+// CrosstalkMonitor periodically samples per-domain activity and global frame
+// pressure, publishes the rates as gauges, and flags windows in which one
+// domain's fault surge coincides with another's progress collapse. All
+// scheduling is on the simulator, so monitored runs stay deterministic.
+type CrosstalkMonitor struct {
+	reg *Registry
+	s   *sim.Simulator
+	cfg CrosstalkConfig
+
+	// Sample returns the cumulative per-domain activity (in a stable,
+	// deterministic order) and the current memory pressure.
+	sample func() ([]DomainSample, Pressure)
+
+	hist    map[string]*domainHistory
+	timer   sim.Timer
+	running bool
+	ticks   int64
+}
+
+// NewCrosstalkMonitor builds a monitor; call Start to begin sampling. The
+// sample function must return domains in a stable order.
+func NewCrosstalkMonitor(reg *Registry, s *sim.Simulator, cfg CrosstalkConfig, sample func() ([]DomainSample, Pressure)) *CrosstalkMonitor {
+	cfg.fillDefaults()
+	return &CrosstalkMonitor{
+		reg:    reg,
+		s:      s,
+		cfg:    cfg,
+		sample: sample,
+		hist:   make(map[string]*domainHistory),
+	}
+}
+
+// Start schedules the first sampling tick one period from now. Safe on a
+// nil receiver (telemetry disabled).
+func (m *CrosstalkMonitor) Start() {
+	if m == nil || m.running || m.reg == nil || m.s == nil || m.sample == nil {
+		return
+	}
+	m.running = true
+	m.timer = m.s.After(m.cfg.Period, m.tick)
+}
+
+// Stop cancels future sampling.
+func (m *CrosstalkMonitor) Stop() {
+	if m == nil || !m.running {
+		return
+	}
+	m.running = false
+	m.timer.Stop()
+}
+
+// Ticks returns how many sampling windows have completed.
+func (m *CrosstalkMonitor) Ticks() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.ticks
+}
+
+// Flags returns the flags recorded so far (convenience for tests).
+func (m *CrosstalkMonitor) Flags() []Flag {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Flags()
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// windowRates holds one domain's rates for the just-closed window.
+type windowRates struct {
+	name         string
+	progressRate float64
+	faultRate    float64
+	progressBase float64
+	faultBase    float64
+	baselineOK   bool // enough history to judge
+}
+
+func (m *CrosstalkMonitor) tick() {
+	if !m.running {
+		return
+	}
+	samples, pressure := m.sample()
+	secs := m.cfg.Period.Seconds()
+	m.ticks++
+
+	m.reg.Gauge("crosstalk", "free_frames", "").Set(int64(pressure.FreeFrames))
+
+	rates := make([]windowRates, 0, len(samples))
+	for _, s := range samples {
+		h, ok := m.hist[s.Name]
+		if !ok {
+			h = &domainHistory{}
+			m.hist[s.Name] = h
+		}
+		if !h.havePrev {
+			h.prev = s
+			h.havePrev = true
+			continue
+		}
+		pr := float64(s.Progress-h.prev.Progress) / secs
+		fr := float64(s.Faults-h.prev.Faults) / secs
+		rv := s.Revocations - h.prev.Revocations
+		h.prev = s
+
+		m.reg.Gauge("crosstalk", "progress_rate", s.Name).Set(int64(pr))
+		m.reg.Gauge("crosstalk", "fault_rate", s.Name).Set(int64(fr))
+		if rv > 0 {
+			m.reg.Counter("crosstalk", "revocations_seen", s.Name).Add(rv)
+		}
+
+		rates = append(rates, windowRates{
+			name:         s.Name,
+			progressRate: pr,
+			faultRate:    fr,
+			progressBase: mean(h.progress),
+			faultBase:    mean(h.faults),
+			baselineOK:   len(h.progress) >= m.cfg.Baseline,
+		})
+
+		h.progress = append(h.progress, pr)
+		h.faults = append(h.faults, fr)
+		if len(h.progress) > m.cfg.Baseline {
+			h.progress = h.progress[1:]
+			h.faults = h.faults[1:]
+		}
+	}
+
+	// Victims: progress collapsed below DegradeFrac of baseline.
+	for _, v := range rates {
+		if !v.baselineOK || v.progressBase <= 0 {
+			continue
+		}
+		if v.progressRate >= m.cfg.DegradeFrac*v.progressBase {
+			continue
+		}
+		// Suspect: the other domain with the strongest fault surge.
+		best := -1
+		bestRatio := 0.0
+		for i, s := range rates {
+			if s.name == v.name || !s.baselineOK {
+				continue
+			}
+			var ratio float64
+			switch {
+			case s.faultBase > 0:
+				ratio = s.faultRate / s.faultBase
+			case s.faultRate > 0:
+				ratio = m.cfg.SurgeFrac + 1 // surge from zero baseline
+			default:
+				continue
+			}
+			if ratio > m.cfg.SurgeFrac && ratio > bestRatio {
+				best = i
+				bestRatio = ratio
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		s := rates[best]
+		m.reg.addFlag(Flag{
+			At:              m.reg.Now(),
+			Window:          m.cfg.Period,
+			Victim:          v.name,
+			Suspect:         s.name,
+			VictimRate:      v.progressRate,
+			VictimBaseline:  v.progressBase,
+			SuspectRate:     s.faultRate,
+			SuspectBaseline: s.faultBase,
+			FreeFrames:      pressure.FreeFrames,
+		})
+		m.reg.Counter("crosstalk", "flags", v.name).Inc()
+	}
+
+	if m.running {
+		m.timer = m.s.After(m.cfg.Period, m.tick)
+	}
+}

@@ -1,0 +1,500 @@
+// Package obs is the simulation-time-aware telemetry subsystem: counters,
+// gauges and fixed-bucket latency histograms keyed by (subsystem, name,
+// domain), causal fault spans recording per-hop latency along the
+// self-paging fault path (dispatch → MMEntry → stretch driver → USD →
+// disk → map completion), and a QoS-crosstalk monitor that flags windows
+// in which one domain's paging measurably degrades another's progress.
+//
+// Every timestamp is sim.Time, so instrumented runs stay exactly
+// deterministic. A nil *Registry (and every metric or span handle obtained
+// from one) is a valid no-op: instrumented code needs neither nil checks
+// nor allocations when telemetry is disabled.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"nemesis/internal/sim"
+)
+
+// Clock supplies the current simulated instant (normally sim.Simulator.Now).
+type Clock func() sim.Time
+
+// Key identifies one metric: the subsystem that owns it, the metric name,
+// and the domain (or client) it is attributed to. System-wide metrics use an
+// empty Domain.
+type Key struct {
+	Subsystem string
+	Name      string
+	Domain    string
+}
+
+func (k Key) String() string {
+	if k.Domain == "" {
+		return k.Subsystem + "." + k.Name
+	}
+	return k.Subsystem + "." + k.Name + "[" + k.Domain + "]"
+}
+
+// DefaultSpanCap bounds the ring of finished spans a registry retains.
+const DefaultSpanCap = 512
+
+// Registry holds all metrics, finished fault spans and crosstalk flags for
+// one simulated system. It must only be touched from simulator context (one
+// goroutine at a time), which the process model already guarantees.
+type Registry struct {
+	now Clock
+
+	counters map[Key]*Counter
+	gauges   map[Key]*Gauge
+	hists    map[Key]*Histogram
+	corder   []Key
+	gorder   []Key
+	horder   []Key
+
+	hopHists map[hopKey]*Histogram
+	hopOrder []hopKey
+
+	spanCap   int
+	spans     []*Span // ring buffer once full
+	spanHead  int     // next overwrite position
+	spanTotal int64   // spans ever recorded
+
+	flags []Flag
+}
+
+// NewRegistry creates a registry reading time from now.
+func NewRegistry(now Clock) *Registry {
+	if now == nil {
+		now = func() sim.Time { return 0 }
+	}
+	return &Registry{
+		now:      now,
+		counters: make(map[Key]*Counter),
+		gauges:   make(map[Key]*Gauge),
+		hists:    make(map[Key]*Histogram),
+		hopHists: make(map[hopKey]*Histogram),
+		spanCap:  DefaultSpanCap,
+	}
+}
+
+// SetSpanCap resizes the finished-span ring (minimum 1). Must be called
+// before spans are recorded.
+func (r *Registry) SetSpanCap(n int) {
+	if r == nil || n < 1 {
+		return
+	}
+	r.spanCap = n
+}
+
+// Now returns the registry's current simulated time (zero for nil).
+func (r *Registry) Now() sim.Time {
+	if r == nil {
+		return 0
+	}
+	return r.now()
+}
+
+// Counter returns (creating if needed) the counter for key. Nil registries
+// return a nil counter, whose methods are no-ops.
+func (r *Registry) Counter(subsystem, name, domain string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := Key{subsystem, name, domain}
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{r: r}
+		r.counters[k] = c
+		r.corder = append(r.corder, k)
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge for key.
+func (r *Registry) Gauge(subsystem, name, domain string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := Key{subsystem, name, domain}
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{r: r}
+		r.gauges[k] = g
+		r.gorder = append(r.gorder, k)
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the latency histogram for key,
+// using the default exponential bucket layout.
+func (r *Registry) Histogram(subsystem, name, domain string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := Key{subsystem, name, domain}
+	h, ok := r.hists[k]
+	if !ok {
+		h = newHistogram(r)
+		r.hists[k] = h
+		r.horder = append(r.horder, k)
+	}
+	return h
+}
+
+// LookupCounter returns the counter for key, or nil if it has never been
+// created. Useful for read-only reporting that must not clutter the
+// registry with empty series.
+func (r *Registry) LookupCounter(subsystem, name, domain string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.counters[Key{subsystem, name, domain}]
+}
+
+// LookupHistogram returns the histogram for key, or nil if it has never
+// been created.
+func (r *Registry) LookupHistogram(subsystem, name, domain string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.hists[Key{subsystem, name, domain}]
+}
+
+// Counter is a monotonically increasing count, stamped with the simulated
+// time of its last update.
+type Counter struct {
+	r  *Registry
+	v  int64
+	at sim.Time
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Safe on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+	c.at = c.r.now()
+}
+
+// Value returns the current count (zero for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Updated returns the simulated time of the last update.
+func (c *Counter) Updated() sim.Time {
+	if c == nil {
+		return 0
+	}
+	return c.at
+}
+
+// Gauge is an instantaneous level (queue depth, free frames, stack depth).
+type Gauge struct {
+	r  *Registry
+	v  int64
+	at sim.Time
+}
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	g.at = g.r.now()
+}
+
+// Add adjusts the level by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v += delta
+	g.at = g.r.now()
+}
+
+// Value returns the current level (zero for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Updated returns the simulated time of the last update.
+func (g *Gauge) Updated() sim.Time {
+	if g == nil {
+		return 0
+	}
+	return g.at
+}
+
+// histBuckets are the fixed upper bounds of the latency histogram:
+// exponential from 1 µs, doubling, up to ~67 s, plus an implicit overflow
+// bucket. Fault-path latencies (tens of ns to seconds) all land inside.
+var histBuckets = func() []time.Duration {
+	out := make([]time.Duration, 27)
+	b := time.Microsecond
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}()
+
+// Histogram is a fixed-bucket latency histogram with exact count, sum, min
+// and max, and bucket-interpolated quantiles.
+type Histogram struct {
+	r      *Registry
+	counts []int64 // len(histBuckets)+1; last is overflow
+	count  int64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+	at     sim.Time
+}
+
+func newHistogram(r *Registry) *Histogram {
+	return &Histogram{r: r, counts: make([]int64, len(histBuckets)+1)}
+}
+
+// Observe records one latency sample. Safe on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(histBuckets) && d > histBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.at = h.r.now()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min returns the smallest sample.
+func (h *Histogram) Min() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the mean sample, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Updated returns the simulated time of the last observation.
+func (h *Histogram) Updated() sim.Time {
+	if h == nil {
+		return 0
+	}
+	return h.at
+}
+
+// Quantile returns the q-quantile (0 < q <= 1), linearly interpolated
+// within the containing bucket and clamped to the exact min/max.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := int64(q*float64(h.count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum < target {
+			continue
+		}
+		var lo, hi time.Duration
+		if i == 0 {
+			lo = 0
+		} else {
+			lo = histBuckets[i-1]
+		}
+		if i < len(histBuckets) {
+			hi = histBuckets[i]
+		} else {
+			hi = h.max // overflow bucket: clamp to observed max
+		}
+		// Interpolate by rank within the bucket.
+		rankInBucket := target - (cum - c)
+		est := lo + time.Duration(float64(hi-lo)*float64(rankInBucket)/float64(c))
+		if est < h.min {
+			est = h.min
+		}
+		if est > h.max {
+			est = h.max
+		}
+		return est
+	}
+	return h.max
+}
+
+// metricRow is one export line; blank fields render empty in TSV.
+type metricRow struct {
+	Type      string  `json:"type"`
+	Subsystem string  `json:"subsystem"`
+	Name      string  `json:"name"`
+	Domain    string  `json:"domain,omitempty"`
+	Value     *int64  `json:"value,omitempty"`
+	Count     *int64  `json:"count,omitempty"`
+	SumMs     *string `json:"sum_ms,omitempty"`
+	P50Ms     *string `json:"p50_ms,omitempty"`
+	P95Ms     *string `json:"p95_ms,omitempty"`
+	P99Ms     *string `json:"p99_ms,omitempty"`
+	MaxMs     *string `json:"max_ms,omitempty"`
+	UpdatedMs float64 `json:"updated_ms"`
+}
+
+func msStr(d time.Duration) *string {
+	s := fmt.Sprintf("%.4f", float64(d)/1e6)
+	return &s
+}
+
+func (r *Registry) metricRows() []metricRow {
+	var rows []metricRow
+	for _, k := range r.corder {
+		c := r.counters[k]
+		v := c.v
+		rows = append(rows, metricRow{Type: "counter", Subsystem: k.Subsystem, Name: k.Name, Domain: k.Domain, Value: &v, UpdatedMs: c.at.Milliseconds()})
+	}
+	for _, k := range r.gorder {
+		g := r.gauges[k]
+		v := g.v
+		rows = append(rows, metricRow{Type: "gauge", Subsystem: k.Subsystem, Name: k.Name, Domain: k.Domain, Value: &v, UpdatedMs: g.at.Milliseconds()})
+	}
+	for _, k := range r.horder {
+		h := r.hists[k]
+		n := h.count
+		rows = append(rows, metricRow{
+			Type: "histogram", Subsystem: k.Subsystem, Name: k.Name, Domain: k.Domain,
+			Count: &n, SumMs: msStr(h.sum),
+			P50Ms: msStr(h.Quantile(0.50)), P95Ms: msStr(h.Quantile(0.95)),
+			P99Ms: msStr(h.Quantile(0.99)), MaxMs: msStr(h.max),
+			UpdatedMs: h.at.Milliseconds(),
+		})
+	}
+	return rows
+}
+
+func orEmpty(s *string) string {
+	if s == nil {
+		return ""
+	}
+	return *s
+}
+
+// WriteMetricsTSV renders every counter, gauge and histogram as TSV, in
+// creation order (which is deterministic for a deterministic run).
+func (r *Registry) WriteMetricsTSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "type\tsubsystem\tname\tdomain\tvalue\tcount\tsum_ms\tp50_ms\tp95_ms\tp99_ms\tmax_ms\tupdated_ms"); err != nil {
+		return err
+	}
+	for _, row := range r.metricRows() {
+		val := ""
+		if row.Value != nil {
+			val = fmt.Sprintf("%d", *row.Value)
+		}
+		cnt := ""
+		if row.Count != nil {
+			cnt = fmt.Sprintf("%d", *row.Count)
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%.3f\n",
+			row.Type, row.Subsystem, row.Name, row.Domain, val, cnt,
+			orEmpty(row.SumMs), orEmpty(row.P50Ms), orEmpty(row.P95Ms), orEmpty(row.P99Ms), orEmpty(row.MaxMs),
+			row.UpdatedMs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshot is the JSON export shape.
+type snapshot struct {
+	TimeMs    float64      `json:"time_ms"`
+	Metrics   []metricRow  `json:"metrics"`
+	Hops      []HopSummary `json:"fault_hops"`
+	Spans     []spanExport `json:"recent_spans"`
+	Crosstalk []Flag       `json:"crosstalk_flags"`
+}
+
+// WriteJSON renders the full registry state — metrics, per-hop fault
+// latency summaries, the retained span ring and crosstalk flags — as one
+// JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := snapshot{
+		TimeMs:    r.now().Milliseconds(),
+		Metrics:   r.metricRows(),
+		Hops:      r.HopSummaries(),
+		Spans:     r.exportSpans(),
+		Crosstalk: r.flags,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}

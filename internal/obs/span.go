@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nemesis/internal/sim"
+)
+
+// Hop is one measured segment of a fault span. Hops are contiguous: each
+// hop begins exactly where the previous one ended, so the hop durations of
+// a finished span sum to the span's end-to-end latency.
+type Hop struct {
+	Name  string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration returns the hop's latency.
+func (h Hop) Duration() time.Duration { return h.End.Sub(h.Start) }
+
+// Span is one causal fault record: opened at kernel fault dispatch,
+// threaded through the MMEntry, the stretch driver, the USD and the disk,
+// and finished when the faulting thread resumes. A nil *Span is a valid
+// no-op, so the fault path pays nothing when telemetry is disabled.
+type Span struct {
+	reg *Registry
+
+	Domain  string
+	Class   string // fault class: "page", "protection", "unallocated"
+	Thread  string
+	Outcome string // "fast", "worker", "handler", "fatal"
+
+	Start sim.Time
+	End   sim.Time
+
+	hops []Hop
+	open bool // last hop still open
+	done bool
+}
+
+// StartSpan opens a fault span for the given domain and fault class at the
+// current simulated time. A nil registry returns a nil span.
+func (r *Registry) StartSpan(domain, class string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, Domain: domain, Class: class, Start: r.now()}
+}
+
+// SetThread records the faulting thread's name.
+func (s *Span) SetThread(name string) {
+	if s == nil {
+		return
+	}
+	s.Thread = name
+}
+
+// closeOpen closes the currently open hop at instant at (clamped so hops
+// never run backwards).
+func (s *Span) closeOpen(at sim.Time) {
+	if !s.open {
+		return
+	}
+	last := &s.hops[len(s.hops)-1]
+	if at < last.Start {
+		at = last.Start
+	}
+	last.End = at
+	s.open = false
+}
+
+// BeginHop closes any open hop at the current instant and opens a new one
+// named name. Safe on a nil receiver.
+func (s *Span) BeginHop(name string) {
+	if s == nil || s.done {
+		return
+	}
+	now := s.reg.now()
+	s.closeOpen(now)
+	s.hops = append(s.hops, Hop{Name: name, Start: now})
+	s.open = true
+}
+
+// SplitHop closes the open hop at instant at (which may lie in the past —
+// e.g. a USD transaction's recorded service start) and opens a new hop
+// named name at the same instant, keeping the hop chain contiguous.
+func (s *Span) SplitHop(at sim.Time, name string) {
+	if s == nil || s.done {
+		return
+	}
+	if !s.open {
+		// No open hop to split: behave like BeginHop at the given instant.
+		s.hops = append(s.hops, Hop{Name: name, Start: at})
+		s.open = true
+		return
+	}
+	last := &s.hops[len(s.hops)-1]
+	if at < last.Start {
+		at = last.Start
+	}
+	last.End = at
+	s.hops = append(s.hops, Hop{Name: name, Start: at})
+}
+
+// EndHop closes the open hop at the current instant without opening a new
+// one (a gap until the next BeginHop; rarely wanted on the fault path).
+func (s *Span) EndHop() {
+	if s == nil || s.done {
+		return
+	}
+	s.closeOpen(s.reg.now())
+}
+
+// Finish closes the span (and any open hop) at the current instant,
+// records the end-to-end latency and every hop latency into the
+// registry's aggregates, and retains the span in the ring.
+func (s *Span) Finish(outcome string) {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.End = s.reg.now()
+	s.closeOpen(s.End)
+	s.Outcome = outcome
+	s.reg.recordSpan(s)
+}
+
+// Duration returns the end-to-end latency of a finished span.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// Hops returns a copy of the span's hop records.
+func (s *Span) Hops() []Hop {
+	if s == nil {
+		return nil
+	}
+	out := make([]Hop, len(s.hops))
+	copy(out, s.hops)
+	return out
+}
+
+// HopSum returns the sum of all hop durations; for a finished span this
+// equals Duration exactly, which tests assert.
+func (s *Span) HopSum() time.Duration {
+	if s == nil {
+		return 0
+	}
+	var sum time.Duration
+	for _, h := range s.hops {
+		sum += h.Duration()
+	}
+	return sum
+}
+
+// hopKey aggregates hop latencies per (domain, fault class, hop name).
+type hopKey struct {
+	Domain string
+	Class  string
+	Hop    string
+}
+
+// recordSpan folds a finished span into the aggregates and the ring.
+func (r *Registry) recordSpan(s *Span) {
+	r.Histogram("span", "e2e."+s.Class, s.Domain).Observe(s.Duration())
+	for _, h := range s.hops {
+		k := hopKey{s.Domain, s.Class, h.Name}
+		hist, ok := r.hopHists[k]
+		if !ok {
+			hist = newHistogram(r)
+			r.hopHists[k] = hist
+			r.hopOrder = append(r.hopOrder, k)
+		}
+		hist.Observe(h.Duration())
+	}
+	r.spanTotal++
+	if len(r.spans) < r.spanCap {
+		r.spans = append(r.spans, s)
+		return
+	}
+	r.spans[r.spanHead] = s
+	r.spanHead = (r.spanHead + 1) % r.spanCap
+}
+
+// Spans returns the retained finished spans, oldest first.
+func (r *Registry) Spans() []*Span {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Span, 0, len(r.spans))
+	out = append(out, r.spans[r.spanHead:]...)
+	out = append(out, r.spans[:r.spanHead]...)
+	return out
+}
+
+// SpanTotal returns the number of spans ever finished (including those the
+// ring has dropped).
+func (r *Registry) SpanTotal() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.spanTotal
+}
+
+// HopSummary is the latency distribution of one hop for one (domain, fault
+// class) pair.
+type HopSummary struct {
+	Domain string  `json:"domain"`
+	Class  string  `json:"class"`
+	Hop    string  `json:"hop"`
+	Count  int64   `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// HopSummaries returns per-hop latency breakdowns in first-seen order
+// (deterministic for a deterministic run).
+func (r *Registry) HopSummaries() []HopSummary {
+	if r == nil {
+		return nil
+	}
+	out := make([]HopSummary, 0, len(r.hopOrder))
+	for _, k := range r.hopOrder {
+		h := r.hopHists[k]
+		out = append(out, HopSummary{
+			Domain: k.Domain, Class: k.Class, Hop: k.Hop, Count: h.Count(),
+			P50Ms: float64(h.Quantile(0.50)) / 1e6,
+			P95Ms: float64(h.Quantile(0.95)) / 1e6,
+			P99Ms: float64(h.Quantile(0.99)) / 1e6,
+			MaxMs: float64(h.Max()) / 1e6,
+		})
+	}
+	return out
+}
+
+// WriteSpansTSV renders the per-hop latency summaries as TSV.
+func (r *Registry) WriteSpansTSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "domain\tclass\thop\tcount\tp50_ms\tp95_ms\tp99_ms\tmax_ms"); err != nil {
+		return err
+	}
+	for _, hs := range r.HopSummaries() {
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			hs.Domain, hs.Class, hs.Hop, hs.Count, hs.P50Ms, hs.P95Ms, hs.P99Ms, hs.MaxMs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spanExport is the JSON shape of one retained span.
+type spanExport struct {
+	Domain  string      `json:"domain"`
+	Class   string      `json:"class"`
+	Thread  string      `json:"thread,omitempty"`
+	Outcome string      `json:"outcome"`
+	StartMs float64     `json:"start_ms"`
+	EndMs   float64     `json:"end_ms"`
+	Hops    []hopExport `json:"hops"`
+}
+
+type hopExport struct {
+	Name    string  `json:"name"`
+	StartMs float64 `json:"start_ms"`
+	EndMs   float64 `json:"end_ms"`
+}
+
+func (r *Registry) exportSpans() []spanExport {
+	spans := r.Spans()
+	out := make([]spanExport, 0, len(spans))
+	for _, s := range spans {
+		se := spanExport{
+			Domain: s.Domain, Class: s.Class, Thread: s.Thread, Outcome: s.Outcome,
+			StartMs: s.Start.Milliseconds(), EndMs: s.End.Milliseconds(),
+		}
+		for _, h := range s.hops {
+			se.Hops = append(se.Hops, hopExport{Name: h.Name, StartMs: h.Start.Milliseconds(), EndMs: h.End.Milliseconds()})
+		}
+		out = append(out, se)
+	}
+	return out
+}

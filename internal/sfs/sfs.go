@@ -8,12 +8,21 @@
 package sfs
 
 import (
+	"errors"
 	"fmt"
 
 	"nemesis/internal/atropos"
 	"nemesis/internal/disk"
+	"nemesis/internal/obs"
 	"nemesis/internal/sim"
 	"nemesis/internal/usd"
+)
+
+// Errors returned by the SFS control path.
+var (
+	ErrExists     = errors.New("sfs: swap file already exists")
+	ErrNoSuchFile = errors.New("sfs: no such swap file")
+	ErrBadRange   = errors.New("sfs: range outside swap file")
 )
 
 // SFS manages swap files within one disk partition.
@@ -48,7 +57,7 @@ func (s *SFS) Lookup(name string) *SwapFile { return s.files[name] }
 // pipeline depth, and grants the client access to exactly its extent.
 func (s *SFS) CreateSwapFile(name string, sizeBytes int64, q atropos.QoS, depth int) (*SwapFile, error) {
 	if _, exists := s.files[name]; exists {
-		return nil, fmt.Errorf("sfs: swap file %q already exists", name)
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	if sizeBytes <= 0 {
 		return nil, fmt.Errorf("%w: %d bytes", ErrBadSize, sizeBytes)
@@ -95,7 +104,7 @@ func (s *SFS) OpenAlias(f *SwapFile, name string, q atropos.QoS, depth int) (*us
 func (s *SFS) DeleteSwapFile(name string) error {
 	f, ok := s.files[name]
 	if !ok {
-		return fmt.Errorf("sfs: no swap file %q", name)
+		return fmt.Errorf("%w: %q", ErrNoSuchFile, name)
 	}
 	delete(s.files, name)
 	if err := s.usd.Close(name); err != nil {
@@ -129,7 +138,7 @@ func (f *SwapFile) Channel() *usd.Channel { return f.ch }
 
 func (f *SwapFile) checkRange(offset int64, count int) error {
 	if count <= 0 || offset < 0 || offset+int64(count) > f.extent.Count {
-		return fmt.Errorf("sfs: range [%d,+%d) outside swap file of %d blocks", offset, count, f.extent.Count)
+		return fmt.Errorf("%w: [%d,+%d) of %d blocks", ErrBadRange, offset, count, f.extent.Count)
 	}
 	return nil
 }
@@ -137,18 +146,42 @@ func (f *SwapFile) checkRange(offset int64, count int) error {
 // Read fills buf with count blocks starting at file-relative block offset,
 // blocking p until the USD completes the transaction.
 func (f *SwapFile) Read(p *sim.Proc, offset int64, count int, buf []byte) error {
+	return f.ReadSpanned(p, offset, count, buf, nil)
+}
+
+// ReadSpanned is Read, additionally stamping the transaction's phases onto
+// sp (which may be nil): hop "usd.queue" covers submission to service
+// start, "usd.read" the disk service itself, and "usd.complete" the
+// completion delivery back to the faulting thread. The USD records exact
+// service start/completion instants on the request, so the hops are split
+// retroactively but stay contiguous.
+func (f *SwapFile) ReadSpanned(p *sim.Proc, offset int64, count int, buf []byte, sp *obs.Span) error {
 	if err := f.checkRange(offset, count); err != nil {
 		return err
 	}
-	_, err := f.ch.Do(p, &usd.Request{Op: disk.Read, Block: f.extent.Start + offset, Count: count, Data: buf})
+	sp.BeginHop("usd.queue")
+	req := &usd.Request{Op: disk.Read, Block: f.extent.Start + offset, Count: count, Data: buf}
+	_, err := f.ch.Do(p, req)
+	sp.SplitHop(req.Started(), "usd.read")
+	sp.SplitHop(req.Completed(), "usd.complete")
 	return err
 }
 
 // Write stores count blocks from buf at file-relative block offset.
 func (f *SwapFile) Write(p *sim.Proc, offset int64, count int, buf []byte) error {
+	return f.WriteSpanned(p, offset, count, buf, nil)
+}
+
+// WriteSpanned is Write with the same span stamping as ReadSpanned, using
+// hop "usd.write" for the service phase.
+func (f *SwapFile) WriteSpanned(p *sim.Proc, offset int64, count int, buf []byte, sp *obs.Span) error {
 	if err := f.checkRange(offset, count); err != nil {
 		return err
 	}
-	_, err := f.ch.Do(p, &usd.Request{Op: disk.Write, Block: f.extent.Start + offset, Count: count, Data: buf})
+	sp.BeginHop("usd.queue")
+	req := &usd.Request{Op: disk.Write, Block: f.extent.Start + offset, Count: count, Data: buf}
+	_, err := f.ch.Do(p, req)
+	sp.SplitHop(req.Started(), "usd.write")
+	sp.SplitHop(req.Completed(), "usd.complete")
 	return err
 }

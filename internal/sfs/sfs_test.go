@@ -159,6 +159,29 @@ func TestCreateSwapFile(t *testing.T) {
 	}
 }
 
+// TestSFSSentinelErrors: control-path failures report typed sentinels.
+func TestSFSSentinelErrors(t *testing.T) {
+	_, _, fs := newSFS()
+	f, err := fs.CreateSwapFile("f", 1<<20, q(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateSwapFile("f", 1<<20, q(), 1); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create err = %v", err)
+	}
+	if err := fs.DeleteSwapFile("missing"); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("delete err = %v", err)
+	}
+	for _, bad := range [][2]int64{{-1, 1}, {0, 0}, {f.Blocks(), 1}, {0, f.Blocks() + 1}} {
+		if err := f.checkRange(bad[0], int(bad[1])); !errors.Is(err, ErrBadRange) {
+			t.Fatalf("checkRange(%d,%d) err = %v", bad[0], bad[1], err)
+		}
+	}
+	if err := f.checkRange(0, int(f.Blocks())); err != nil {
+		t.Fatalf("full-range check failed: %v", err)
+	}
+}
+
 func TestCreateSwapFileRollsBackOnUSDFailure(t *testing.T) {
 	_, _, fs := newSFS()
 	free := fs.FreeBlocks()

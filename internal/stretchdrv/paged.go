@@ -4,6 +4,7 @@ import (
 	"nemesis/internal/disk"
 	"nemesis/internal/domain"
 	"nemesis/internal/mem"
+	"nemesis/internal/obs"
 	"nemesis/internal/sfs"
 	"nemesis/internal/sim"
 	"nemesis/internal/vm"
@@ -52,6 +53,11 @@ type Paged struct {
 	Forgetful bool
 
 	Stats PagedStats
+
+	// Cached telemetry handles (nil when the domain has no registry).
+	cPageIns   *obs.Counter
+	cPageOuts  *obs.Counter
+	cEvictions *obs.Counter
 }
 
 // NewPaged creates a paged stretch driver for st, swapping to swap, and
@@ -64,6 +70,11 @@ func NewPaged(dom *domain.Domain, st *vm.Stretch, swap *sfs.SwapFile) *Paged {
 		swap:  swap,
 		blok:  NewBlokAllocator(swap.Blocks()/blokBlocks, blokBlocks),
 		pages: make(map[vm.VPN]*pageInfo),
+	}
+	if r := dom.Env().Obs; r != nil {
+		d.cPageIns = r.Counter("driver", "pageins", dom.Name())
+		d.cPageOuts = r.Counter("driver", "pageouts", dom.Name())
+		d.cEvictions = r.Counter("driver", "evictions", dom.Name())
 	}
 	dom.Bind(st, d)
 	return d
@@ -95,6 +106,7 @@ func (d *Paged) SatisfyFault(p *sim.Proc, f *vm.Fault, canIDC bool) domain.Resul
 	if f.Class != vm.PageFault || !d.st.Contains(f.VA) {
 		return domain.Failure
 	}
+	f.Span.BeginHop("driver")
 	va := vm.PageOf(f.VA).Base()
 	pi := d.info(va)
 	needsPageIn := pi.onDisk && !d.Forgetful
@@ -113,7 +125,8 @@ func (d *Paged) SatisfyFault(p *sim.Proc, f *vm.Fault, canIDC bool) domain.Resul
 		if newPFN, err := d.memc().TryAllocFrame(); err == nil {
 			pfn, haveFrame = newPFN, true
 		} else {
-			evicted, err := d.evictOne(p)
+			f.Span.BeginHop("evict")
+			evicted, err := d.evictOne(p, f.Span)
 			if err != nil {
 				return domain.Failure
 			}
@@ -124,16 +137,18 @@ func (d *Paged) SatisfyFault(p *sim.Proc, f *vm.Fault, canIDC bool) domain.Resul
 	if needsPageIn {
 		buf := make([]byte, vm.PageSize)
 		off := d.blok.BlockOffset(pi.blok)
-		if err := d.swap.Read(p, off, int(d.blok.BlokBlocks()), buf); err != nil {
+		if err := d.swap.ReadSpanned(p, off, int(d.blok.BlokBlocks()), buf, f.Span); err != nil {
 			return domain.Failure
 		}
 		copy(d.env().Store.Frame(pfn), buf)
 		d.Stats.PageIns++
+		d.cPageIns.Inc()
 	} else {
 		d.env().Store.Zero(pfn)
 		d.Stats.ZeroFills++
 	}
 
+	f.Span.BeginHop("map")
 	if err := d.mapFrame(va, pfn); err != nil {
 		return domain.Failure
 	}
@@ -177,8 +192,10 @@ func (d *Paged) pickVictim() (vm.VA, bool) {
 }
 
 // evictOne unmaps a victim page, writing it to swap if dirty, and returns
-// the freed frame. Runs only in worker context (disk IDC).
-func (d *Paged) evictOne(p *sim.Proc) (mem.PFN, error) {
+// the freed frame. Runs only in worker context (disk IDC). sp, when
+// non-nil, receives the write-back's USD hops (eviction on behalf of a
+// demand fault is part of that fault's causal chain).
+func (d *Paged) evictOne(p *sim.Proc, sp *obs.Span) (mem.PFN, error) {
 	va, ok := d.pickVictim()
 	if !ok {
 		return 0, ErrNoBloks // no pages to evict: cannot proceed
@@ -199,13 +216,15 @@ func (d *Paged) evictOne(p *sim.Proc) (mem.PFN, error) {
 		buf := make([]byte, vm.PageSize)
 		copy(buf, d.env().Store.Frame(pfn))
 		off := d.blok.BlockOffset(pi.blok)
-		if err := d.swap.Write(p, off, int(d.blok.BlokBlocks()), buf); err != nil {
+		if err := d.swap.WriteSpanned(p, off, int(d.blok.BlokBlocks()), buf, sp); err != nil {
 			return 0, err
 		}
 		pi.onDisk = true
 		d.Stats.PageOuts++
+		d.cPageOuts.Inc()
 	}
 	d.Stats.Evictions++
+	d.cEvictions.Inc()
 	return pfn, nil
 }
 
@@ -220,7 +239,7 @@ func (d *Paged) Relinquish(p *sim.Proc, k int) int {
 			d.stack().MoveToTop(pfn)
 			continue
 		}
-		pfn, err := d.evictOne(p)
+		pfn, err := d.evictOne(p, nil)
 		if err != nil {
 			break
 		}

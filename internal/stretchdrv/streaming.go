@@ -4,6 +4,7 @@ import (
 	"nemesis/internal/disk"
 	"nemesis/internal/domain"
 	"nemesis/internal/mem"
+	"nemesis/internal/obs"
 	"nemesis/internal/sim"
 	"nemesis/internal/usd"
 	"nemesis/internal/vm"
@@ -43,6 +44,9 @@ type Streaming struct {
 	// later claimed by a demand access before eviction.
 	Prefetches     int64
 	PrefetchedUsed int64
+
+	cPrefetches *obs.Counter
+	cPFUsed     *obs.Counter
 }
 
 // NewStreaming wraps a paged driver with stream prefetching. pfCh must be a
@@ -58,6 +62,10 @@ func NewStreaming(dom *domain.Domain, paged *Paged, pfCh *usd.Channel, window in
 		pfCh:     pfCh,
 		inflight: make(map[vm.VPN]*pfEntry),
 		kick:     sim.NewCond(dom.Env().Sim),
+	}
+	if r := dom.Env().Obs; r != nil {
+		s.cPrefetches = r.Counter("driver", "prefetches", dom.Name())
+		s.cPFUsed = r.Counter("driver", "prefetched_used", dom.Name())
 	}
 	dom.Bind(paged.st, s)
 	dom.Go("prefetcher", s.prefetchLoop)
@@ -76,11 +84,13 @@ func (s *Streaming) SatisfyFault(p *sim.Proc, f *vm.Fault, canIDC bool) domain.R
 		if !canIDC {
 			return domain.Retry
 		}
+		f.Span.BeginHop("prefetch.wait")
 		for !e.completed {
 			e.done.Wait(p)
 		}
 		if e.ok {
 			s.PrefetchedUsed++
+			s.cPFUsed.Inc()
 			s.noteAccess(vpn)
 			return domain.Success
 		}
@@ -159,7 +169,7 @@ func (s *Streaming) prefetchLoop(t *domain.Thread) {
 				// Recycle the oldest resident page (normally one the
 				// stream already consumed) rather than stalling until
 				// the demand path frees a frame.
-				if evicted, err := s.evictOne(p); err == nil {
+				if evicted, err := s.evictOne(p, nil); err == nil {
 					pfn, free = evicted, true
 				}
 			}
@@ -214,7 +224,9 @@ func (s *Streaming) prefetchLoop(t *domain.Thread) {
 				} else {
 					s.fifo = append(s.fifo, fl.vpn.Base())
 					s.Prefetches++
+					s.cPrefetches.Inc()
 					s.Stats.PageIns++
+					s.cPageIns.Inc()
 				}
 			}
 			if !ok {

@@ -79,14 +79,16 @@ func (l *Log) Events() []Event {
 	return l.events
 }
 
-// Between returns events overlapping [from, to).
+// Between returns events overlapping [from, to). An event that merely
+// ended at the window's start does not overlap it; an instantaneous event
+// (Start == End, e.g. an Allocation) landing exactly on from does.
 func (l *Log) Between(from, to sim.Time) []Event {
 	if l == nil {
 		return nil
 	}
 	var out []Event
 	for _, e := range l.events {
-		if e.End >= from && e.Start < to {
+		if (e.End > from || e.Start >= from) && e.Start < to {
 			out = append(out, e)
 		}
 	}

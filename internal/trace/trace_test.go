@@ -161,6 +161,89 @@ func TestValidateGuarantees(t *testing.T) {
 	}
 }
 
+// TestBetweenBoundaries pins the half-open window semantics: an event
+// that ended exactly at the window start is outside it, while an
+// instantaneous event landing exactly on the start is inside.
+func TestBetweenBoundaries(t *testing.T) {
+	var l Log
+	ended := Event{Transaction, "a", ms(0), ms(10)}
+	instant := Event{Allocation, "a", ms(10), ms(10)}
+	spanning := Event{Transaction, "a", ms(5), ms(15)}
+	startsAtEnd := Event{Transaction, "a", ms(20), ms(30)}
+	l.Add(ended)
+	l.Add(instant)
+	l.Add(spanning)
+	l.Add(startsAtEnd)
+
+	got := l.Between(ms(10), ms(20))
+	if len(got) != 2 {
+		t.Fatalf("Between(10,20) = %v", got)
+	}
+	if got[0] != instant || got[1] != spanning {
+		t.Fatalf("Between(10,20) = %v; want instantaneous + spanning", got)
+	}
+	// The excluded event still overlaps an earlier window.
+	if got := l.Between(ms(0), ms(10)); len(got) != 2 || got[0] != ended || got[1] != spanning {
+		t.Fatalf("Between(0,10) = %v", got)
+	}
+	// An event starting exactly at `to` is outside (half-open on the right).
+	if got := l.Between(ms(10), ms(20)); len(got) == 3 {
+		t.Fatalf("event starting at to included: %v", got)
+	}
+	// Instantaneous event exactly at `to` is outside.
+	if got := l.Between(ms(0), ms(10)); len(got) != 2 {
+		t.Fatalf("instantaneous event at to included: %v", got)
+	}
+}
+
+// TestValidateGuaranteesSlopBoundary: charged time of exactly slice+slop
+// is permitted; one more transaction's worth is not.
+func TestValidateGuaranteesSlopBoundary(t *testing.T) {
+	slices := map[string]time.Duration{"a": 25 * time.Millisecond}
+	var atLimit Log
+	atLimit.Add(Event{Transaction, "a", ms(0), ms(35)}) // exactly 25+10
+	if v := atLimit.ValidateGuarantees(slices, 250*time.Millisecond, 10*time.Millisecond, ms(250)); len(v) != 0 {
+		t.Fatalf("busy == allowed flagged: %v", v)
+	}
+	var over Log
+	over.Add(Event{Transaction, "a", ms(0), ms(36)})
+	v := over.ValidateGuarantees(slices, 250*time.Millisecond, 10*time.Millisecond, ms(250))
+	if len(v) != 1 {
+		t.Fatalf("busy > allowed not flagged: %v", v)
+	}
+	if v[0].Allowed != 0.035 {
+		t.Fatalf("allowed = %v", v[0].Allowed)
+	}
+}
+
+// TestSeriesSetMissingSamples: a series without a sample at a unioned time
+// renders a blank cell, and column alignment is preserved.
+func TestSeriesSetMissingSamples(t *testing.T) {
+	var ss SeriesSet
+	a := ss.New("a")
+	b := ss.New("b")
+	a.Add(ms(1000), 1)
+	b.Add(ms(2000), 20)
+	a.Add(ms(3000), 3)
+	var buf strings.Builder
+	if err := ss.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[1] != "1.00\t1.0000\t" {
+		t.Fatalf("row1 = %q; want blank b cell", lines[1])
+	}
+	if lines[2] != "2.00\t\t20.0000" {
+		t.Fatalf("row2 = %q; want blank a cell", lines[2])
+	}
+	if lines[3] != "3.00\t3.0000\t" {
+		t.Fatalf("row3 = %q", lines[3])
+	}
+}
+
 func TestValidateGuaranteesClipsEdges(t *testing.T) {
 	var l Log
 	// A transaction spanning a window boundary is split across windows.

@@ -19,13 +19,15 @@ import (
 
 	"nemesis/internal/atropos"
 	"nemesis/internal/disk"
+	"nemesis/internal/obs"
 	"nemesis/internal/sim"
 	"nemesis/internal/trace"
 )
 
 // Errors returned by the USD control path.
 var (
-	ErrStopped = errors.New("usd: stopped")
+	ErrStopped       = errors.New("usd: stopped")
+	ErrUnknownClient = errors.New("usd: unknown client")
 )
 
 // Extent is a contiguous range of disk blocks [Start, Start+Count).
@@ -61,6 +63,12 @@ type client struct {
 	txns    int64
 	bytes   int64
 	dropped int64 // completions lost to a full completion FIFO
+
+	// Telemetry handles, cached at Open (nil when telemetry is off).
+	hQueueWait *obs.Histogram
+	hService   *obs.Histogram
+	cTxns      *obs.Counter
+	cBytes     *obs.Counter
 }
 
 // Stats is a snapshot of one client's activity.
@@ -92,6 +100,9 @@ type USD struct {
 	// Log, when non-nil, receives scheduler trace events (transactions,
 	// lax charges, allocations, slack grants).
 	Log *trace.Log
+	// Obs, when non-nil, receives per-client queue-wait/service latency
+	// histograms and transaction counters. Set before opening clients.
+	Obs *obs.Registry
 	// SlackEnabled turns on optimistic scheduling for x=true clients.
 	SlackEnabled bool
 	// LaxityEnabled turns the laxity mechanism on (the paper's fix for
@@ -151,6 +162,12 @@ func (u *USD) Open(name string, q atropos.QoS, depth int) (*Channel, error) {
 		comps: sim.NewQueue[*Request](u.sim, 2*depth),
 	}
 	cl := &client{ac: ac, ch: ch}
+	if u.Obs != nil {
+		cl.hQueueWait = u.Obs.Histogram("usd", "queue_wait", name)
+		cl.hService = u.Obs.Histogram("usd", "service", name)
+		cl.cTxns = u.Obs.Counter("usd", "txns", name)
+		cl.cBytes = u.Obs.Counter("usd", "bytes", name)
+	}
 	u.clients[name] = cl
 	u.order = append(u.order, name)
 	u.startLax(cl)
@@ -161,7 +178,7 @@ func (u *USD) Open(name string, q atropos.QoS, depth int) (*Channel, error) {
 func (u *USD) Close(name string) error {
 	cl, ok := u.clients[name]
 	if !ok {
-		return fmt.Errorf("usd: unknown client %q", name)
+		return fmt.Errorf("%w: %q", ErrUnknownClient, name)
 	}
 	cl.laxTimer.Stop()
 	cl.ch.Close()
@@ -179,7 +196,7 @@ func (u *USD) Close(name string) error {
 func (u *USD) Grant(name string, e Extent) error {
 	cl, ok := u.clients[name]
 	if !ok {
-		return fmt.Errorf("usd: unknown client %q", name)
+		return fmt.Errorf("%w: %q", ErrUnknownClient, name)
 	}
 	cl.extents = append(cl.extents, e)
 	return nil
@@ -352,8 +369,12 @@ func (u *USD) serve(p *sim.Proc, cl *client, slack bool) {
 	req.completed = t1
 	cl.inService = false
 	cl.txns++
+	cl.cTxns.Inc()
+	cl.hQueueWait.Observe(t0.Sub(req.submitted))
+	cl.hService.Observe(t1.Sub(t0))
 	if req.Err == nil {
 		cl.bytes += int64(req.Count) * disk.BlockSize
+		cl.cBytes.Add(int64(req.Count) * disk.BlockSize)
 	}
 	kind := trace.Transaction
 	if slack {

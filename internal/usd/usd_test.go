@@ -37,6 +37,18 @@ func TestExtentContains(t *testing.T) {
 	}
 }
 
+// TestUnknownClientSentinel: Close and Grant on an unadmitted name report
+// ErrUnknownClient via errors.Is.
+func TestUnknownClientSentinel(t *testing.T) {
+	_, u := newUSD()
+	if err := u.Close("ghost"); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("Close err = %v", err)
+	}
+	if err := u.Grant("ghost", Extent{0, 10}); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("Grant err = %v", err)
+	}
+}
+
 func TestOpenAdmissionControl(t *testing.T) {
 	_, u := newUSD()
 	if _, err := u.Open("a", atropos.QoS{P: ms(250), S: ms(200)}, 1); err != nil {

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"nemesis/internal/mem"
+	"nemesis/internal/obs"
 )
 
 // PageSize and PageShift mirror the machine page size (8 KB Alpha pages).
@@ -150,6 +151,11 @@ type Fault struct {
 	Class  FaultClass
 	Access Access
 	SID    StretchID // stretch containing VA, if any
+
+	// Span is the causal telemetry span opened at dispatch, threaded
+	// through whichever path resolves the fault. Nil when telemetry is
+	// disabled; every Span method is nil-safe.
+	Span *obs.Span
 }
 
 func (f *Fault) Error() string {
