@@ -1,0 +1,41 @@
+// Policies: the pluggable replacement policies side by side — FIFO (the
+// paper's scheme), second chance and CLOCK on the E2 hot-set workload: a
+// 3-page hot set re-referenced between every cold access, over 6 frames.
+// FIFO evicts the hot pages as they age; the reference-aware policies see
+// their bits refreshed and spare them, cutting the paging rate. Policies are
+// selected per stretch through core.PagerSpec — each domain composes its own
+// pager, nothing global changes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nemesis/internal/experiments"
+	"nemesis/internal/stretchdrv"
+)
+
+func main() {
+	log.SetFlags(0)
+	kinds := []stretchdrv.PolicyKind{
+		stretchdrv.PolicyFIFO,
+		stretchdrv.PolicySecondChance,
+		stretchdrv.PolicyClock,
+	}
+	fmt.Println("running the hot-set workload once per replacement policy...")
+	rows, err := experiments.ExtensionEvictionPolicies(15*time.Second, kinds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-15s %14s %12s %10s\n", "policy", "page-ins/MB", "progress", "spares")
+	for _, r := range rows {
+		fmt.Printf("%-15s %14.1f %9.2f Mb/s %10d\n",
+			r.Policy, r.PageInsPerMB, r.Mbps, r.Spares)
+	}
+
+	fmt.Println("\nthe reference-aware policies keep the hot set resident (each spare")
+	fmt.Println("is a referenced page re-armed instead of evicted), so the same")
+	fmt.Println("contracts buy more progress per disk transfer than plain FIFO.")
+}

@@ -54,8 +54,8 @@ func TestMappedFileStretch(t *testing.T) {
 	}
 	// With 4 frames and 16 pages, eviction write-backs happened during the
 	// writes; Sync flushed the resident remainder.
-	if drv.Stats.WriteBacks < 16 {
-		t.Fatalf("write-backs = %d, want >= 16", drv.Stats.WriteBacks)
+	if drv.Stats.PageOuts < 16 {
+		t.Fatalf("write-backs = %d, want >= 16", drv.Stats.PageOuts)
 	}
 	if drv.Stats.Evictions == 0 {
 		t.Fatal("no evictions with 4 frames over 16 pages")
@@ -90,8 +90,8 @@ func TestMappedFileStretch(t *testing.T) {
 	if !verified {
 		t.Fatal("reader did not verify")
 	}
-	if rdrv.Stats.FileReads < 16 {
-		t.Fatalf("reader file reads = %d", rdrv.Stats.FileReads)
+	if rdrv.Stats.PageIns < 16 {
+		t.Fatalf("reader file reads = %d", rdrv.Stats.PageIns)
 	}
 	sys.Shutdown()
 	sys.RunUntilIdle(1 << 22)
@@ -117,8 +117,8 @@ func TestMappedCleanEvictionsSkipWriteBack(t *testing.T) {
 		}
 	})
 	sys.Run(30 * time.Second)
-	if drv.Stats.WriteBacks != 0 {
-		t.Fatalf("clean pages wrote back %d times", drv.Stats.WriteBacks)
+	if drv.Stats.PageOuts != 0 {
+		t.Fatalf("clean pages wrote back %d times", drv.Stats.PageOuts)
 	}
 	if drv.Stats.Evictions < 16 {
 		t.Fatalf("evictions = %d", drv.Stats.Evictions)

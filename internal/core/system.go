@@ -208,77 +208,231 @@ func (sys *System) Domains() []*domain.Domain {
 	return out
 }
 
-// NewPagedStretch allocates a stretch of size bytes for dom, creates a swap
-// file of swapBytes with disk QoS q (pipeline depth 1, as pagers cannot
-// pipeline), and binds a paged stretch driver.
-func (sys *System) NewPagedStretch(dom *domain.Domain, size uint64, swapBytes int64, q atropos.QoS) (*vm.Stretch, *stretchdrv.Paged, error) {
-	st, err := dom.NewStretch(size)
+// StretchKind selects the driver family a PagerSpec builds.
+type StretchKind int
+
+const (
+	// KindAuto infers the kind from the populated spec fields: Thread set
+	// means nailed, File means mapped, Window > 0 means streaming,
+	// SwapBytes > 0 means paged, else physical.
+	KindAuto StretchKind = iota
+	KindPaged
+	KindStreaming
+	KindPhysical
+	KindNailed
+	KindMapped
+)
+
+// PagerSpec describes a stretch plus the self-pager that backs it: the
+// driver family, the swap or file backing, the disk contracts, and the
+// composable engine policies (replacement, writeback, write clustering).
+// The zero value of every policy field is the paper's driver: FIFO
+// replacement, demand writeback, no clustering.
+type PagerSpec struct {
+	// Size is the stretch size in bytes. For mapped stretches, zero means
+	// "the whole file".
+	Size uint64
+	// Kind picks the driver family; KindAuto infers it from the fields.
+	Kind StretchKind
+
+	// Policy, Writeback and ClusterSize parameterise the pager engine
+	// (paged, streaming and mapped kinds).
+	Policy      stretchdrv.PolicyKind
+	Writeback   stretchdrv.WritebackKind
+	ClusterSize int
+
+	// SwapBytes and DiskQoS size and contract the swap file (paged,
+	// streaming).
+	SwapBytes int64
+	DiskQoS   atropos.QoS
+
+	// Window and PrefetchQoS configure the streaming driver's read-ahead
+	// pipeline.
+	Window      int
+	PrefetchQoS atropos.QoS
+
+	// File is the backing file for a mapped stretch.
+	File *sfs.SwapFile
+
+	// Thread is the calling thread for a nailed stretch (frame allocation
+	// may involve revocation waits, so it must run with activations on).
+	Thread *domain.Thread
+}
+
+// kind resolves KindAuto from the populated fields.
+func (spec PagerSpec) kind() StretchKind {
+	if spec.Kind != KindAuto {
+		return spec.Kind
+	}
+	switch {
+	case spec.Thread != nil:
+		return KindNailed
+	case spec.File != nil:
+		return KindMapped
+	case spec.Window > 0:
+		return KindStreaming
+	case spec.SwapBytes > 0:
+		return KindPaged
+	default:
+		return KindPhysical
+	}
+}
+
+// engineOpts extracts the pager-engine options from the spec.
+func (spec PagerSpec) engineOpts() stretchdrv.PagerOptions {
+	return stretchdrv.PagerOptions{
+		Policy:      spec.Policy,
+		Writeback:   spec.Writeback,
+		ClusterSize: spec.ClusterSize,
+	}
+}
+
+// NewStretch is the single stretch builder: it allocates a stretch for dom
+// and binds the driver the spec describes. The five historical constructors
+// (NewPagedStretch and friends) are one-line wrappers over it. The returned
+// driver is the concrete *stretchdrv type behind the domain.Driver
+// interface.
+func (sys *System) NewStretch(dom *domain.Domain, spec PagerSpec) (*vm.Stretch, domain.Driver, error) {
+	switch spec.kind() {
+	case KindPaged:
+		st, paged, err := sys.newPaged(dom, spec)
+		return st, paged, err
+
+	case KindStreaming:
+		st, paged, err := sys.newPaged(dom, spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		window := spec.Window
+		if window < 1 {
+			window = 1
+		}
+		pfCh, err := sys.SFS.OpenAlias(paged.Swap(), paged.Swap().Name()+"-pf", spec.PrefetchQoS, window)
+		if err != nil {
+			return nil, nil, err
+		}
+		return st, stretchdrv.NewStreaming(dom, paged, pfCh, window), nil
+
+	case KindPhysical:
+		st, err := dom.NewStretch(spec.Size)
+		if err != nil {
+			return nil, nil, err
+		}
+		return st, stretchdrv.NewPhysical(dom, st), nil
+
+	case KindNailed:
+		t := spec.Thread
+		if t == nil {
+			return nil, nil, fmt.Errorf("core: nailed stretch needs PagerSpec.Thread")
+		}
+		if t.Domain() != dom {
+			return nil, nil, fmt.Errorf("core: PagerSpec.Thread belongs to %q, not %q", t.Domain().Name(), dom.Name())
+		}
+		st, err := dom.NewStretch(spec.Size)
+		if err != nil {
+			return nil, nil, err
+		}
+		drv, err := stretchdrv.BindNailed(t.Proc(), dom, st)
+		if err != nil {
+			return nil, nil, err
+		}
+		return st, drv, nil
+
+	case KindMapped:
+		if spec.File == nil {
+			return nil, nil, fmt.Errorf("core: mapped stretch needs PagerSpec.File")
+		}
+		size := spec.Size
+		if size == 0 {
+			size = uint64(spec.File.Blocks()) * disk.BlockSize
+		}
+		st, err := dom.NewStretch(size)
+		if err != nil {
+			return nil, nil, err
+		}
+		drv, err := stretchdrv.NewMappedOpts(dom, st, spec.File, spec.engineOpts())
+		if err != nil {
+			return nil, nil, err
+		}
+		return st, drv, nil
+
+	default:
+		return nil, nil, fmt.Errorf("core: unknown stretch kind %d", spec.Kind)
+	}
+}
+
+// newPaged builds the stretch + swap file + paged driver of a spec (the
+// shared base of the paged and streaming kinds). The swap file uses
+// pipeline depth 1, as pagers cannot pipeline.
+func (sys *System) newPaged(dom *domain.Domain, spec PagerSpec) (*vm.Stretch, *stretchdrv.Paged, error) {
+	st, err := dom.NewStretch(spec.Size)
 	if err != nil {
 		return nil, nil, err
 	}
 	swapName := fmt.Sprintf("%s-swap-%d", dom.Name(), st.ID())
-	swap, err := sys.SFS.CreateSwapFile(swapName, swapBytes, q, 1)
+	swap, err := sys.SFS.CreateSwapFile(swapName, spec.SwapBytes, spec.DiskQoS, 1)
 	if err != nil {
 		return nil, nil, err
 	}
-	drv := stretchdrv.NewPaged(dom, st, swap)
+	drv, err := stretchdrv.NewPagedOpts(dom, st, swap, spec.engineOpts())
+	if err != nil {
+		return nil, nil, err
+	}
 	return st, drv, nil
+}
+
+// NewPagedStretch allocates a stretch of size bytes for dom, creates a swap
+// file of swapBytes with disk QoS q, and binds a paged stretch driver with
+// default policies.
+func (sys *System) NewPagedStretch(dom *domain.Domain, size uint64, swapBytes int64, q atropos.QoS) (*vm.Stretch, *stretchdrv.Paged, error) {
+	st, drv, err := sys.NewStretch(dom, PagerSpec{Kind: KindPaged, Size: size, SwapBytes: swapBytes, DiskQoS: q})
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, drv.(*stretchdrv.Paged), nil
 }
 
 // NewStreamingStretch allocates a stretch backed by a stream-paging driver:
 // a paged stretch driver plus a prefetch pipeline of the given window depth
 // on a second IO channel (contract prefetchQ) over the same swap file.
 func (sys *System) NewStreamingStretch(dom *domain.Domain, size uint64, swapBytes int64, demandQ, prefetchQ atropos.QoS, window int) (*vm.Stretch, *stretchdrv.Streaming, error) {
-	st, paged, err := sys.NewPagedStretch(dom, size, swapBytes, demandQ)
+	st, drv, err := sys.NewStretch(dom, PagerSpec{Kind: KindStreaming, Size: size, SwapBytes: swapBytes, DiskQoS: demandQ, PrefetchQoS: prefetchQ, Window: window})
 	if err != nil {
 		return nil, nil, err
 	}
-	pfCh, err := sys.SFS.OpenAlias(paged.Swap(), paged.Swap().Name()+"-pf", prefetchQ, window)
-	if err != nil {
-		return nil, nil, err
-	}
-	return st, stretchdrv.NewStreaming(dom, paged, pfCh, window), nil
+	return st, drv.(*stretchdrv.Streaming), nil
 }
 
 // NewPhysicalStretch allocates a stretch backed by a physical stretch
 // driver (demand-zero, no backing store).
 func (sys *System) NewPhysicalStretch(dom *domain.Domain, size uint64) (*vm.Stretch, *stretchdrv.Physical, error) {
-	st, err := dom.NewStretch(size)
+	st, drv, err := sys.NewStretch(dom, PagerSpec{Kind: KindPhysical, Size: size})
 	if err != nil {
 		return nil, nil, err
 	}
-	return st, stretchdrv.NewPhysical(dom, st), nil
+	return st, drv.(*stretchdrv.Physical), nil
 }
 
 // NewNailedStretch allocates a stretch fully backed and pinned at bind
 // time. It must be called from a thread (it allocates frames, which may
 // involve revocation waits).
 func (sys *System) NewNailedStretch(t *domain.Thread, size uint64) (*vm.Stretch, *stretchdrv.Nailed, error) {
-	dom := t.Domain()
-	st, err := dom.NewStretch(size)
+	st, drv, err := sys.NewStretch(t.Domain(), PagerSpec{Kind: KindNailed, Size: size, Thread: t})
 	if err != nil {
 		return nil, nil, err
 	}
-	drv, err := stretchdrv.BindNailed(t.Proc(), dom, st)
-	if err != nil {
-		return nil, nil, err
-	}
-	return st, drv, nil
+	return st, drv.(*stretchdrv.Nailed), nil
 }
 
 // NewMappedFileStretch maps an SFS file into a fresh stretch of dom (the
 // memory-mapped-file path): faults demand-read the file, evictions and
 // Sync write dirty pages back, all under the file's own disk contract.
 func (sys *System) NewMappedFileStretch(dom *domain.Domain, file *sfs.SwapFile) (*vm.Stretch, *stretchdrv.Mapped, error) {
-	st, err := dom.NewStretch(uint64(file.Blocks()) * disk.BlockSize)
+	st, drv, err := sys.NewStretch(dom, PagerSpec{Kind: KindMapped, File: file})
 	if err != nil {
 		return nil, nil, err
 	}
-	drv, err := stretchdrv.NewMapped(dom, st, file)
-	if err != nil {
-		return nil, nil, err
-	}
-	return st, drv, nil
+	return st, drv.(*stretchdrv.Mapped), nil
 }
 
 // ShareStretch grants another domain's protection domain rights on a

@@ -8,6 +8,7 @@ import (
 	"nemesis/internal/atropos"
 	"nemesis/internal/domain"
 	"nemesis/internal/mem"
+	"nemesis/internal/stretchdrv"
 	"nemesis/internal/vm"
 )
 
@@ -93,8 +94,8 @@ func TestPhysicalStretchDemandZero(t *testing.T) {
 	if stats.FastPath != 4 || stats.WorkerPath != 0 {
 		t.Fatalf("fast=%d worker=%d; preallocated frames should all fast-path", stats.FastPath, stats.WorkerPath)
 	}
-	if drv.Faults != 4 {
-		t.Fatalf("driver faults = %d", drv.Faults)
+	if drv.Stats.Faults != 4 {
+		t.Fatalf("driver faults = %d", drv.Stats.Faults)
 	}
 	sys.Shutdown()
 	sys.RunUntilIdle(1 << 20)
@@ -186,8 +187,17 @@ func TestPagedStretchSwapIntegrity(t *testing.T) {
 func TestForgetfulDriverNeverPagesIn(t *testing.T) {
 	sys := smallSystem()
 	d, _ := sys.NewDomain("app", cpuShare(), mem.Contract{Guaranteed: 2})
-	st, drv, _ := sys.NewPagedStretch(d, 16*vm.PageSize, 64*vm.PageSize, diskShare())
-	drv.Forgetful = true
+	st, gdrv, err := sys.NewStretch(d, PagerSpec{
+		Kind:      KindPaged,
+		Size:      16 * vm.PageSize,
+		SwapBytes: 64 * vm.PageSize,
+		DiskQoS:   diskShare(),
+		Writeback: stretchdrv.WritebackForgetful,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := gdrv.(*stretchdrv.Paged)
 	d.Go("main", func(th *domain.Thread) {
 		PreallocateFrames(th, 2)
 		for pass := 0; pass < 3; pass++ {

@@ -216,6 +216,18 @@ func ExtensionGuardedPT() (*GPTResult, error) {
 	return res, nil
 }
 
+// PolicyComparison is one replacement policy's showing on the E2 hot-set
+// workload.
+type PolicyComparison struct {
+	Policy stretchdrv.PolicyKind
+	// PageInsPerMB is the paging rate: page-ins per megabyte of
+	// application progress.
+	PageInsPerMB float64
+	Mbps         float64
+	// Spares counts pages the policy re-armed instead of evicting.
+	Spares int64
+}
+
 // EvictionResult compares the paged driver's FIFO policy against the
 // second-chance refinement (extension E2 — the paper notes its "fairly pure
 // demand paged scheme ... can clearly be improved"). The metric is paging
@@ -229,11 +241,13 @@ type EvictionResult struct {
 	SecondChanceMbps         float64
 }
 
-// ExtensionSecondChance runs a workload with a hot page re-referenced
-// between every cold access: FIFO keeps evicting it; second chance keeps it
-// resident, so the paging rate drops.
-func ExtensionSecondChance(measure time.Duration) (*EvictionResult, error) {
-	run := func(secondChance bool) (pageInsPerMB, mbps float64, err error) {
+// ExtensionEvictionPolicies runs the E2 hot-set workload once per
+// replacement policy, selected through the pager spec: a hot page set
+// re-referenced between every cold access, so reference-aware policies
+// (second chance, clock) keep it resident while FIFO keeps evicting it.
+func ExtensionEvictionPolicies(measure time.Duration, kinds []stretchdrv.PolicyKind) ([]PolicyComparison, error) {
+	out := make([]PolicyComparison, 0, len(kinds))
+	for _, kind := range kinds {
 		cfg := core.DefaultConfig()
 		cfg.MemoryFrames = 512
 		sys := core.New(cfg)
@@ -241,14 +255,19 @@ func ExtensionSecondChance(measure time.Duration) (*EvictionResult, error) {
 			atropos.QoS{P: 100 * time.Millisecond, S: 20 * time.Millisecond, X: true},
 			mem.Contract{Guaranteed: 6})
 		if err != nil {
-			return 0, 0, err
+			return nil, err
 		}
-		st, drv, err := sys.NewPagedStretch(dom, 16*vm.PageSize, 64*vm.PageSize,
-			atropos.QoS{P: 250 * time.Millisecond, S: 200 * time.Millisecond, X: true, L: 10 * time.Millisecond})
+		st, gdrv, err := sys.NewStretch(dom, core.PagerSpec{
+			Kind:      core.KindPaged,
+			Size:      16 * vm.PageSize,
+			SwapBytes: 64 * vm.PageSize,
+			DiskQoS:   atropos.QoS{P: 250 * time.Millisecond, S: 200 * time.Millisecond, X: true, L: 10 * time.Millisecond},
+			Policy:    kind,
+		})
 		if err != nil {
-			return 0, 0, err
+			return nil, err
 		}
-		drv.SecondChance = secondChance
+		drv := gdrv.(*stretchdrv.Paged)
 		dom.Go("main", func(t *domain.Thread) {
 			core.PreallocateFrames(t, 6)
 			// A 3-page hot set re-touched (several times) between every
@@ -275,19 +294,101 @@ func ExtensionSecondChance(measure time.Duration) (*EvictionResult, error) {
 		})
 		sys.Run(measure)
 		sys.Shutdown()
-		mb := float64(dom.Stats().BytesTouched) / (1 << 20)
-		if mb == 0 {
-			return 0, 0, nil
+		pc := PolicyComparison{Policy: kind, Spares: drv.Stats.Spares}
+		if mb := float64(dom.Stats().BytesTouched) / (1 << 20); mb > 0 {
+			pc.PageInsPerMB = float64(drv.Stats.PageIns) / mb
+			pc.Mbps = mb * 8 / measure.Seconds()
 		}
-		return float64(drv.Stats.PageIns) / mb, mb * 8 / measure.Seconds(), nil
+		out = append(out, pc)
 	}
-	res := &EvictionResult{}
-	var err error
-	if res.FIFOPageInsPerMB, res.FIFOMbps, err = run(false); err != nil {
+	return out, nil
+}
+
+// ExtensionSecondChance runs the FIFO vs second-chance pair of the policy
+// comparison (the historical E2 shape).
+func ExtensionSecondChance(measure time.Duration) (*EvictionResult, error) {
+	rows, err := ExtensionEvictionPolicies(measure,
+		[]stretchdrv.PolicyKind{stretchdrv.PolicyFIFO, stretchdrv.PolicySecondChance})
+	if err != nil {
 		return nil, err
 	}
-	if res.SecondChancePageInsPerMB, res.SecondChanceMbps, err = run(true); err != nil {
-		return nil, err
+	return &EvictionResult{
+		FIFOPageInsPerMB:         rows[0].PageInsPerMB,
+		SecondChancePageInsPerMB: rows[1].PageInsPerMB,
+		FIFOMbps:                 rows[0].Mbps,
+		SecondChanceMbps:         rows[1].Mbps,
+	}, nil
+}
+
+// ClusteringResult reports the write-clustering sweep: the same forgetful
+// page-out workload (Fig. 8's shape) run at several cluster sizes. A
+// cleaning batch of disk-contiguous pages goes out as one USD transaction,
+// so TxnsPerPageOut drops below 1 as ClusterSize grows — the rotation
+// amortisation conventional VM systems get from write clustering.
+type ClusteringResult struct {
+	Sizes []int
+	// PageOuts / WriteTxns are pages cleaned and the disk transactions
+	// they merged into; TxnsPerPageOut is their ratio.
+	PageOuts       []int64
+	WriteTxns      []int64
+	TxnsPerPageOut []float64
+	Mbps           []float64
+}
+
+// ExtensionWriteClustering measures eviction-time write batching: a
+// forgetful writer (never pages in, every eviction must clean) over a small
+// frame grant, at each cluster size.
+func ExtensionWriteClustering(measure time.Duration, sizes []int) (*ClusteringResult, error) {
+	const (
+		frames = 8
+		pages  = 64
+	)
+	res := &ClusteringResult{Sizes: sizes}
+	for _, size := range sizes {
+		cfg := core.DefaultConfig()
+		cfg.MemoryFrames = 512
+		sys := core.New(cfg)
+		dom, err := sys.NewDomain("writer",
+			atropos.QoS{P: 100 * time.Millisecond, S: 20 * time.Millisecond, X: true},
+			mem.Contract{Guaranteed: frames})
+		if err != nil {
+			return nil, err
+		}
+		st, gdrv, err := sys.NewStretch(dom, core.PagerSpec{
+			Kind:        core.KindPaged,
+			Size:        pages * vm.PageSize,
+			SwapBytes:   4 * pages * vm.PageSize,
+			DiskQoS:     atropos.QoS{P: 250 * time.Millisecond, S: 200 * time.Millisecond, X: true, L: 10 * time.Millisecond},
+			Writeback:   stretchdrv.WritebackForgetful,
+			ClusterSize: size,
+		})
+		if err != nil {
+			return nil, err
+		}
+		drv := gdrv.(*stretchdrv.Paged)
+		var bytes int64
+		dom.Go("main", func(t *domain.Thread) {
+			core.PreallocateFrames(t, frames)
+			for {
+				for pg := 0; pg < pages; pg++ {
+					if err := t.Touch(st.PageBase(pg), vm.PageSize, vm.AccessWrite); err != nil {
+						return
+					}
+					bytes += int64(vm.PageSize)
+				}
+			}
+		})
+		sys.Run(measure)
+		sys.Shutdown()
+		s := drv.Stats
+		res.PageOuts = append(res.PageOuts, s.CleanedPages)
+		res.WriteTxns = append(res.WriteTxns, s.CleanTxns)
+		ratio := 0.0
+		if s.CleanedPages > 0 {
+			ratio = float64(s.CleanTxns) / float64(s.CleanedPages)
+		}
+		res.TxnsPerPageOut = append(res.TxnsPerPageOut, ratio)
+		res.Mbps = append(res.Mbps, float64(bytes)*8/1e6/measure.Seconds())
 	}
 	return res, nil
 }

@@ -3,6 +3,8 @@ package experiments
 import (
 	"testing"
 	"time"
+
+	"nemesis/internal/stretchdrv"
 )
 
 func TestExtensionPipelineDepth(t *testing.T) {
@@ -33,6 +35,51 @@ func TestExtensionSecondChance(t *testing.T) {
 	}
 	if r.SecondChanceMbps < r.FIFOMbps {
 		t.Fatalf("second chance slower: %.2f vs %.2f Mbit/s", r.SecondChanceMbps, r.FIFOMbps)
+	}
+}
+
+func TestExtensionEvictionPolicyClock(t *testing.T) {
+	rows, err := ExtensionEvictionPolicies(10*time.Second,
+		[]stretchdrv.PolicyKind{stretchdrv.PolicyFIFO, stretchdrv.PolicyClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, clock := rows[0], rows[1]
+	// CLOCK sees the hot set's referenced bits refreshed between sweeps and
+	// keeps it resident, like second chance.
+	if clock.PageInsPerMB > 0.8*fifo.PageInsPerMB {
+		t.Fatalf("clock did not reduce paging rate: fifo=%.1f clock=%.1f ins/MB",
+			fifo.PageInsPerMB, clock.PageInsPerMB)
+	}
+	if clock.Spares == 0 {
+		t.Fatal("clock never spared a referenced page")
+	}
+	if fifo.Spares != 0 {
+		t.Fatalf("fifo spared %d pages; it must ignore reference bits", fifo.Spares)
+	}
+}
+
+func TestExtensionWriteClustering(t *testing.T) {
+	r, err := ExtensionWriteClustering(10*time.Second, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PageOuts[0] == 0 || r.PageOuts[1] == 0 {
+		t.Fatalf("no cleaning happened: %v", r.PageOuts)
+	}
+	// ClusterSize 1 degenerates to one transaction per page.
+	if r.WriteTxns[0] != r.PageOuts[0] {
+		t.Fatalf("unclustered run merged writes: %d txns for %d pages",
+			r.WriteTxns[0], r.PageOuts[0])
+	}
+	// ClusterSize 4 must merge batches into fewer USD transactions — the
+	// measurable improvement from batched multi-page cleaning.
+	if r.WriteTxns[1] >= r.PageOuts[1] {
+		t.Fatalf("clustering merged nothing: %d txns for %d pages",
+			r.WriteTxns[1], r.PageOuts[1])
+	}
+	if r.TxnsPerPageOut[1] > 0.7 {
+		t.Fatalf("clustering ratio %.2f txns/page, want <= 0.7", r.TxnsPerPageOut[1])
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"nemesis/internal/atropos"
 	"nemesis/internal/core"
 	"nemesis/internal/obs"
+	"nemesis/internal/stretchdrv"
 	"nemesis/internal/trace"
 	"nemesis/internal/usd"
 	"nemesis/internal/workload"
@@ -31,6 +32,12 @@ type PagingOptions struct {
 	FCFS bool
 	// Write + Forgetful select the page-out experiment (Fig. 8).
 	Write, Forgetful bool
+	// Policy, Writeback and ClusterSize parameterise the applications'
+	// pager engines (zero values: FIFO, demand — or forgetful when
+	// Forgetful is set — and no write clustering).
+	Policy      stretchdrv.PolicyKind
+	Writeback   stretchdrv.WritebackKind
+	ClusterSize int
 	// VirtBytes, PhysFrames, SwapBytes size each application
 	// (paper: 4 MB, 2 frames, 16 MB).
 	VirtBytes  uint64
@@ -124,6 +131,9 @@ func RunPaging(opt PagingOptions) (*PagingResult, error) {
 		pc.SwapBytes = opt.SwapBytes
 		pc.Write = opt.Write
 		pc.Forgetful = opt.Forgetful
+		pc.Policy = opt.Policy
+		pc.Writeback = opt.Writeback
+		pc.ClusterSize = opt.ClusterSize
 		pc.SampleEvery = opt.SampleEvery
 		pg, err := workload.StartPager(sys, pc, res.Set.New(name))
 		if err != nil {

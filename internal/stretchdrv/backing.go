@@ -1,0 +1,230 @@
+package stretchdrv
+
+import (
+	"sort"
+
+	"nemesis/internal/disk"
+	"nemesis/internal/obs"
+	"nemesis/internal/sfs"
+	"nemesis/internal/sim"
+	"nemesis/internal/vm"
+)
+
+// DirtyPage is one page of a cleaning batch: the page's base address and a
+// snapshot of its contents taken before the write was issued.
+type DirtyPage struct {
+	VA   vm.VA
+	Data []byte
+}
+
+// Backing is a pager's persistent store. The engine asks it whether a page
+// has a current on-disk copy, reads single pages in on demand, and hands it
+// batches of dirty pages to clean; the backing owns the page-to-disk layout
+// (blok map or fixed file offsets) and is free to merge a batch into fewer
+// disk transactions.
+type Backing interface {
+	// Name identifies the backing in metrics and traces.
+	Name() string
+	// HasCopy reports whether the store holds a current copy of va's page.
+	HasCopy(va vm.VA) bool
+	// ReadPage fills buf with va's page, blocking p on the disk.
+	ReadPage(p *sim.Proc, va vm.VA, buf []byte, sp *obs.Span) error
+	// WritePages cleans a batch, returning how many disk transactions it
+	// took. On return every written page has a current copy (HasCopy true).
+	WritePages(p *sim.Proc, pages []DirtyPage, sp *obs.Span) (txns int, err error)
+}
+
+// pageInfo is the swap backing's per-page record.
+type pageInfo struct {
+	blok   int64 // allocated swap blok, or -1
+	onDisk bool  // swap copy is current
+}
+
+// SwapBacking stores pages in a swap file, tracking space as a bitmap of
+// bloks (each exactly one page) allocated lazily at first clean — the
+// paper's User-Safe Backing Store scheme.
+type SwapBacking struct {
+	swap  *sfs.SwapFile
+	blok  *BlokAllocator
+	pages map[vm.VPN]*pageInfo
+}
+
+// NewSwapBacking wraps swap in a blok-managed page store.
+func NewSwapBacking(swap *sfs.SwapFile) *SwapBacking {
+	blokBlocks := int64(vm.PageSize / disk.BlockSize)
+	return &SwapBacking{
+		swap:  swap,
+		blok:  NewBlokAllocator(swap.Blocks()/blokBlocks, blokBlocks),
+		pages: make(map[vm.VPN]*pageInfo),
+	}
+}
+
+// Name implements Backing.
+func (b *SwapBacking) Name() string { return "swap" }
+
+// File returns the underlying swap file.
+func (b *SwapBacking) File() *sfs.SwapFile { return b.swap }
+
+// FreeBloks returns the unallocated swap capacity in bloks.
+func (b *SwapBacking) FreeBloks() int64 { return b.blok.Free() }
+
+// BlokBlocks returns the disk blocks per blok (= per page).
+func (b *SwapBacking) BlokBlocks() int64 { return b.blok.BlokBlocks() }
+
+// info returns (creating if needed) the record for the page at va.
+func (b *SwapBacking) info(va vm.VA) *pageInfo {
+	vpn := vm.PageOf(va)
+	pi, ok := b.pages[vpn]
+	if !ok {
+		pi = &pageInfo{blok: -1}
+		b.pages[vpn] = pi
+	}
+	return pi
+}
+
+// HasCopy implements Backing.
+func (b *SwapBacking) HasCopy(va vm.VA) bool {
+	pi, ok := b.pages[vm.PageOf(va)]
+	return ok && pi.onDisk
+}
+
+// DiskBlock returns the absolute disk block of va's swap copy, for clients
+// (the stream prefetcher) that pipeline raw USD reads past the engine.
+func (b *SwapBacking) DiskBlock(va vm.VA) (int64, bool) {
+	pi, ok := b.pages[vm.PageOf(va)]
+	if !ok || !pi.onDisk {
+		return 0, false
+	}
+	return b.swap.Extent().Start + b.blok.BlockOffset(pi.blok), true
+}
+
+// ReadPage implements Backing.
+func (b *SwapBacking) ReadPage(p *sim.Proc, va vm.VA, buf []byte, sp *obs.Span) error {
+	pi := b.info(va)
+	off := b.blok.BlockOffset(pi.blok)
+	return b.swap.ReadSpanned(p, off, int(b.blok.BlokBlocks()), buf, sp)
+}
+
+// WritePages implements Backing. Pages without a blok get one allocated
+// lazily — as a contiguous run when the batch needs several, so the batch
+// can merge into few transactions — then disk-adjacent pages are written as
+// single multi-block spanned writes: one USD request, one seek.
+func (b *SwapBacking) WritePages(p *sim.Proc, pages []DirtyPage, sp *obs.Span) (int, error) {
+	infos := make([]*pageInfo, len(pages))
+	var need []*pageInfo
+	for i, pg := range pages {
+		infos[i] = b.info(pg.VA)
+		if infos[i].blok < 0 {
+			need = append(need, infos[i])
+		}
+	}
+	if len(need) > 0 {
+		if start, err := b.blok.AllocRun(len(need)); err == nil {
+			for i, pi := range need {
+				pi.blok = start + int64(i)
+			}
+		} else {
+			// No contiguous run left: fall back to singles.
+			for _, pi := range need {
+				blok, err := b.blok.Alloc()
+				if err != nil {
+					return 0, err
+				}
+				pi.blok = blok
+			}
+		}
+	}
+
+	order := make([]int, len(pages))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return infos[order[i]].blok < infos[order[j]].blok })
+
+	txns := 0
+	for at := 0; at < len(order); {
+		run := 1
+		for at+run < len(order) && infos[order[at+run]].blok == infos[order[at+run-1]].blok+1 {
+			run++
+		}
+		blocks := int(b.blok.BlokBlocks())
+		buf := make([]byte, 0, run*int(vm.PageSize))
+		for k := 0; k < run; k++ {
+			buf = append(buf, pages[order[at+k]].Data...)
+		}
+		off := b.blok.BlockOffset(infos[order[at]].blok)
+		if err := b.swap.WriteSpanned(p, off, run*blocks, buf, sp); err != nil {
+			return txns, err
+		}
+		txns++
+		for k := 0; k < run; k++ {
+			infos[order[at+k]].onDisk = true
+		}
+		at += run
+	}
+	return txns, nil
+}
+
+// MappedBacking stores pages at fixed offsets of an SFS file: page i of the
+// stretch is the i'th page-sized run of file blocks. The file is always
+// authoritative for non-resident pages, so HasCopy is always true and no
+// blok allocator is needed.
+type MappedBacking struct {
+	file *sfs.SwapFile
+	base vm.VA
+}
+
+// NewMappedBacking maps the stretch starting at base onto file.
+func NewMappedBacking(file *sfs.SwapFile, base vm.VA) *MappedBacking {
+	return &MappedBacking{file: file, base: base}
+}
+
+// Name implements Backing.
+func (b *MappedBacking) Name() string { return "mapped-file" }
+
+// File returns the backing file.
+func (b *MappedBacking) File() *sfs.SwapFile { return b.file }
+
+// HasCopy implements Backing: the file always holds every page.
+func (b *MappedBacking) HasCopy(vm.VA) bool { return true }
+
+// fileOffset returns the file-relative block offset backing va.
+func (b *MappedBacking) fileOffset(va vm.VA) int64 {
+	page := int64(uint64(va-b.base) / vm.PageSize)
+	return page * int64(vm.PageSize/int64(disk.BlockSize))
+}
+
+// ReadPage implements Backing.
+func (b *MappedBacking) ReadPage(p *sim.Proc, va vm.VA, buf []byte, sp *obs.Span) error {
+	return b.file.ReadSpanned(p, b.fileOffset(va), int(vm.PageSize/int64(disk.BlockSize)), buf, sp)
+}
+
+// WritePages implements Backing, merging file-adjacent pages into single
+// spanned writes.
+func (b *MappedBacking) WritePages(p *sim.Proc, pages []DirtyPage, sp *obs.Span) (int, error) {
+	order := make([]int, len(pages))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return pages[order[i]].VA < pages[order[j]].VA })
+
+	pageBlocks := int(vm.PageSize / int64(disk.BlockSize))
+	txns := 0
+	for at := 0; at < len(order); {
+		run := 1
+		for at+run < len(order) && pages[order[at+run]].VA == pages[order[at+run-1]].VA+vm.VA(vm.PageSize) {
+			run++
+		}
+		buf := make([]byte, 0, run*int(vm.PageSize))
+		for k := 0; k < run; k++ {
+			buf = append(buf, pages[order[at+k]].Data...)
+		}
+		off := b.fileOffset(pages[order[at]].VA)
+		if err := b.file.WriteSpanned(p, off, run*pageBlocks, buf, sp); err != nil {
+			return txns, err
+		}
+		txns++
+		at += run
+	}
+	return txns, nil
+}

@@ -1,9 +1,12 @@
-// Package stretchdrv implements the paper's three stretch drivers — nailed,
-// physical and paged — plus the blok-based swap-space allocator the paged
-// driver keeps its on-disk state in. Stretch drivers are unprivileged,
-// application-level objects: they acquire and manage their own physical
-// frames and set up virtual-to-physical mappings by invoking the (validated)
-// low-level translation system.
+// Package stretchdrv implements the paper's stretch drivers — nailed,
+// physical, paged, memory-mapped-file and streaming — as thin compositions
+// over a shared pager Engine parameterised by a ReplacementPolicy (FIFO,
+// second chance, clock), a Backing (swap-via-blok, mapped file, none) and a
+// WritebackPolicy (demand, forgetful, sync-on-request), plus the blok-based
+// swap-space allocator the swap backing keeps its on-disk state in. Stretch
+// drivers are unprivileged, application-level objects: they acquire and
+// manage their own physical frames and set up virtual-to-physical mappings
+// by invoking the (validated) low-level translation system.
 package stretchdrv
 
 import (
@@ -99,6 +102,44 @@ func (a *BlokAllocator) Alloc() (int64, error) {
 	if a.hint != a.head {
 		a.hint = a.head
 		return a.Alloc()
+	}
+	return 0, ErrNoBloks
+}
+
+// AllocRun allocates n contiguous bloks first fit and returns the index of
+// the first, so a batched page-out can land as one multi-block disk
+// transaction. Runs never span bitmap structures. n == 1 delegates to Alloc
+// (preserving its hint behaviour exactly); if no structure holds n
+// consecutive free bloks the call fails and the caller should fall back to
+// single allocations.
+func (a *BlokAllocator) AllocRun(n int) (int64, error) {
+	if n <= 1 {
+		return a.Alloc()
+	}
+	for node := a.head; node != nil; node = node.next {
+		if node.nfree < n {
+			continue
+		}
+		limit := int64(len(node.bits) * 64)
+		if node.base+limit > a.total {
+			limit = a.total - node.base
+		}
+		run := int64(0)
+		for i := int64(0); i < limit; i++ {
+			if node.bits[i/64]&(1<<(i%64)) == 0 {
+				run = 0
+				continue
+			}
+			run++
+			if run == int64(n) {
+				start := i - run + 1
+				for j := start; j <= i; j++ {
+					node.bits[j/64] &^= 1 << (j % 64)
+				}
+				node.nfree -= n
+				return node.base + start, nil
+			}
+		}
 	}
 	return 0, ErrNoBloks
 }

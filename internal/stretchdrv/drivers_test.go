@@ -129,8 +129,17 @@ func TestPagedRelinquishCleansAndFrees(t *testing.T) {
 func TestSecondChanceSparesCounter(t *testing.T) {
 	sys := rig(64)
 	d, _ := sys.NewDomain("app", cpuQ(), mem.Contract{Guaranteed: 2})
-	st, drv, _ := sys.NewPagedStretch(d, 6*vm.PageSize, 32*vm.PageSize, diskQ())
-	drv.SecondChance = true
+	st, gdrv, err := sys.NewStretch(d, core.PagerSpec{
+		Kind:      core.KindPaged,
+		Size:      6 * vm.PageSize,
+		SwapBytes: 32 * vm.PageSize,
+		DiskQoS:   diskQ(),
+		Policy:    stretchdrv.PolicySecondChance,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := gdrv.(*stretchdrv.Paged)
 	d.Go("main", func(th *domain.Thread) {
 		core.PreallocateFrames(th, 2)
 		for pass := 0; pass < 4; pass++ {

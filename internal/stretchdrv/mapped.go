@@ -5,20 +5,9 @@ import (
 
 	"nemesis/internal/disk"
 	"nemesis/internal/domain"
-	"nemesis/internal/mem"
 	"nemesis/internal/sfs"
-	"nemesis/internal/sim"
 	"nemesis/internal/vm"
 )
-
-// MappedStats counts mapped-file activity.
-type MappedStats struct {
-	Faults     int64
-	FileReads  int64
-	WriteBacks int64
-	Evictions  int64
-	Syncs      int64
-}
 
 // Mapped is a memory-mapped-file stretch driver: the stretch's contents are
 // an on-disk file (an SFS extent), demand-read on fault and written back on
@@ -32,144 +21,38 @@ type MappedStats struct {
 // corresponds to the i'th page-sized run of file blocks, and the file is
 // always authoritative for non-resident pages.
 type Mapped struct {
-	base
-	st   *vm.Stretch
-	file *sfs.SwapFile
-	fifo []vm.VA
-
-	Stats MappedStats
+	*Engine
+	backing *MappedBacking
 }
 
-// NewMapped binds st to file. The file must be at least as large as the
-// stretch.
+// NewMapped binds st to file with default options. The file must be at
+// least as large as the stretch.
 func NewMapped(dom *domain.Domain, st *vm.Stretch, file *sfs.SwapFile) (*Mapped, error) {
+	return NewMappedOpts(dom, st, file, PagerOptions{})
+}
+
+// NewMappedOpts is NewMapped with explicit policy choices.
+func NewMappedOpts(dom *domain.Domain, st *vm.Stretch, file *sfs.SwapFile, opt PagerOptions) (*Mapped, error) {
 	pageBlocks := int64(vm.PageSize / int64(disk.BlockSize))
 	if file.Blocks() < int64(st.Pages())*pageBlocks {
 		return nil, fmt.Errorf("stretchdrv: file %q (%d blocks) smaller than %v", file.Name(), file.Blocks(), st)
 	}
-	d := &Mapped{base: base{dom: dom}, st: st, file: file}
+	policy, err := NewPolicy(opt.Policy)
+	if err != nil {
+		return nil, err
+	}
+	wb, err := NewWriteback(opt.Writeback)
+	if err != nil {
+		return nil, err
+	}
+	backing := NewMappedBacking(file, st.Base())
+	d := &Mapped{
+		Engine:  newEngine(dom, st, "mapped-file", policy, backing, wb, opt.ClusterSize),
+		backing: backing,
+	}
 	dom.Bind(st, d)
 	return d, nil
 }
 
-// DriverName implements domain.Driver.
-func (d *Mapped) DriverName() string { return "mapped-file" }
-
 // File returns the backing file.
-func (d *Mapped) File() *sfs.SwapFile { return d.file }
-
-// fileOffset returns the file-relative block offset backing va.
-func (d *Mapped) fileOffset(va vm.VA) int64 {
-	page := int64(uint64(va-d.st.Base()) / vm.PageSize)
-	return page * int64(vm.PageSize/int64(disk.BlockSize))
-}
-
-// SatisfyFault implements domain.Driver. Every fault needs a file read, so
-// the notification-handler fast path always returns Retry.
-func (d *Mapped) SatisfyFault(p *sim.Proc, f *vm.Fault, canIDC bool) domain.Result {
-	d.Stats.Faults++
-	if f.Class != vm.PageFault || !d.st.Contains(f.VA) {
-		return domain.Failure
-	}
-	if !canIDC {
-		return domain.Retry
-	}
-	va := vm.PageOf(f.VA).Base()
-	pfn, ok := d.findUnusedFrame()
-	if !ok {
-		if newPFN, err := d.memc().TryAllocFrame(); err == nil {
-			pfn, ok = newPFN, true
-		} else {
-			evicted, err := d.evictOne(p)
-			if err != nil {
-				return domain.Failure
-			}
-			pfn, ok = evicted, true
-		}
-	}
-	buf := make([]byte, vm.PageSize)
-	if err := d.file.Read(p, d.fileOffset(va), int(vm.PageSize/int64(disk.BlockSize)), buf); err != nil {
-		return domain.Failure
-	}
-	copy(d.env().Store.Frame(pfn), buf)
-	d.Stats.FileReads++
-	if err := d.mapFrame(va, pfn); err != nil {
-		return domain.Failure
-	}
-	d.fifo = append(d.fifo, va)
-	return domain.Success
-}
-
-// evictOne unmaps the oldest resident page, writing it back if dirty.
-func (d *Mapped) evictOne(p *sim.Proc) (mem.PFN, error) {
-	if len(d.fifo) == 0 {
-		return 0, fmt.Errorf("stretchdrv: mapped driver has no pages to evict")
-	}
-	va := d.fifo[0]
-	d.fifo = d.fifo[1:]
-	pfn, dirty, err := d.unmapVA(va)
-	if err != nil {
-		return 0, err
-	}
-	d.Stats.Evictions++
-	if dirty {
-		if err := d.writeBack(p, va, pfn); err != nil {
-			return 0, err
-		}
-	}
-	return pfn, nil
-}
-
-// writeBack flushes a frame's contents to the file.
-func (d *Mapped) writeBack(p *sim.Proc, va vm.VA, pfn mem.PFN) error {
-	buf := make([]byte, vm.PageSize)
-	copy(buf, d.env().Store.Frame(pfn))
-	if err := d.file.Write(p, d.fileOffset(va), int(vm.PageSize/int64(disk.BlockSize)), buf); err != nil {
-		return err
-	}
-	d.Stats.WriteBacks++
-	return nil
-}
-
-// Sync writes every dirty resident page back to the file (msync). Pages
-// stay mapped; their dirty state is reset and fault-on-write re-armed so
-// future writes dirty them again.
-func (d *Mapped) Sync(p *sim.Proc) error {
-	d.Stats.Syncs++
-	ts := d.env().TS
-	for _, va := range d.fifo {
-		pte := ts.PageTable().Lookup(vm.PageOf(va))
-		if pte == nil || !pte.Valid || !pte.Dirty {
-			continue
-		}
-		if err := d.writeBack(p, va, pte.PFN); err != nil {
-			return err
-		}
-		pte.Dirty = false
-		pte.Attr.FOW = true
-	}
-	return nil
-}
-
-// Relinquish implements domain.Driver: unused frames first, then clean
-// evictions.
-func (d *Mapped) Relinquish(p *sim.Proc, k int) int {
-	claimed := make(map[mem.PFN]bool)
-	for len(claimed) < k {
-		if pfn, ok := d.findUnusedFrameExcept(claimed); ok {
-			claimed[pfn] = true
-			d.stack().MoveToTop(pfn)
-			continue
-		}
-		pfn, err := d.evictOne(p)
-		if err != nil {
-			break
-		}
-		claimed[pfn] = true
-		d.stack().MoveToTop(pfn)
-	}
-	return len(claimed)
-}
-
-// ResidentPages returns the number of mapped pages.
-func (d *Mapped) ResidentPages() int { return len(d.fifo) }
+func (d *Mapped) File() *sfs.SwapFile { return d.backing.File() }

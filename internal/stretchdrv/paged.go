@@ -1,256 +1,68 @@
 package stretchdrv
 
 import (
-	"nemesis/internal/disk"
 	"nemesis/internal/domain"
-	"nemesis/internal/mem"
-	"nemesis/internal/obs"
 	"nemesis/internal/sfs"
-	"nemesis/internal/sim"
 	"nemesis/internal/vm"
 )
 
-// pageInfo is the paged driver's per-page record.
-type pageInfo struct {
-	blok   int64 // allocated swap blok, or -1
-	onDisk bool  // swap copy is current
+// PagerOptions selects the composable pieces of a pager engine. The zero
+// value is the paper's driver: FIFO replacement, demand writeback, no write
+// clustering.
+type PagerOptions struct {
+	// Policy picks the replacement policy ("" = FIFO).
+	Policy PolicyKind
+	// Writeback picks when dirty data reaches the backing store
+	// ("" = demand).
+	Writeback WritebackKind
+	// ClusterSize caps how many dirty pages one eviction gathers into a
+	// single cleaning batch (<= 1 disables clustering).
+	ClusterSize int
 }
 
-// PagedStats counts paging activity.
-type PagedStats struct {
-	Faults     int64
-	FastFaults int64
-	PageIns    int64
-	PageOuts   int64
-	Evictions  int64
-	ZeroFills  int64
-	// Spares counts pages the second-chance policy re-queued instead of
-	// evicting.
-	Spares int64
-}
-
-// Paged extends the physical driver with a binding to the User-Safe
-// Backing Store: it may swap pages out to its swap file and page them back
-// in on demand. Swap space is tracked as a bitmap of bloks. The scheme is
-// fairly pure demand paging: no pre-paging, eviction only when a fault
-// finds no free frame.
+// Paged extends the physical driver with a binding to the User-Safe Backing
+// Store: it may swap pages out to its swap file and page them back in on
+// demand. Swap space is tracked as a bitmap of bloks. The default scheme is
+// fairly pure demand paging — no pre-paging, eviction only when a fault
+// finds no free frame — with replacement, writeback and clustering pluggable
+// via PagerOptions.
 type Paged struct {
-	base
-	st   *vm.Stretch
-	swap *sfs.SwapFile
-	blok *BlokAllocator
-
-	pages map[vm.VPN]*pageInfo
-	// fifo orders mapped pages for eviction, oldest first.
-	fifo []vm.VA
-
-	// SecondChance, when set, skips (and re-queues) referenced pages once
-	// before evicting — the classic improvement the paper leaves open.
-	SecondChance bool
-	// Forgetful makes the driver "forget" that pages have a copy on disk,
-	// so it never pages in — the modified driver of the paper's page-out
-	// experiment (Fig. 8).
-	Forgetful bool
-
-	Stats PagedStats
-
-	// Cached telemetry handles (nil when the domain has no registry).
-	cPageIns   *obs.Counter
-	cPageOuts  *obs.Counter
-	cEvictions *obs.Counter
+	*Engine
+	swap *SwapBacking
 }
 
-// NewPaged creates a paged stretch driver for st, swapping to swap, and
-// binds it. Each blok holds exactly one page.
+// NewPaged creates a paged stretch driver for st with the default options
+// (the paper's driver), swapping to swap, and binds it. Each blok holds
+// exactly one page.
 func NewPaged(dom *domain.Domain, st *vm.Stretch, swap *sfs.SwapFile) *Paged {
-	blokBlocks := int64(vm.PageSize / disk.BlockSize)
-	d := &Paged{
-		base:  base{dom: dom},
-		st:    st,
-		swap:  swap,
-		blok:  NewBlokAllocator(swap.Blocks()/blokBlocks, blokBlocks),
-		pages: make(map[vm.VPN]*pageInfo),
+	d, err := NewPagedOpts(dom, st, swap, PagerOptions{})
+	if err != nil {
+		panic(err) // zero options cannot fail
 	}
-	if r := dom.Env().Obs; r != nil {
-		d.cPageIns = r.Counter("driver", "pageins", dom.Name())
-		d.cPageOuts = r.Counter("driver", "pageouts", dom.Name())
-		d.cEvictions = r.Counter("driver", "evictions", dom.Name())
-	}
-	dom.Bind(st, d)
 	return d
 }
 
-// DriverName implements domain.Driver.
-func (d *Paged) DriverName() string { return "paged" }
+// NewPagedOpts is NewPaged with explicit policy choices.
+func NewPagedOpts(dom *domain.Domain, st *vm.Stretch, swap *sfs.SwapFile, opt PagerOptions) (*Paged, error) {
+	policy, err := NewPolicy(opt.Policy)
+	if err != nil {
+		return nil, err
+	}
+	wb, err := NewWriteback(opt.Writeback)
+	if err != nil {
+		return nil, err
+	}
+	backing := NewSwapBacking(swap)
+	d := &Paged{
+		Engine: newEngine(dom, st, "paged", policy, backing, wb, opt.ClusterSize),
+		swap:   backing,
+	}
+	dom.Bind(st, d)
+	return d, nil
+}
 
 // Swap exposes the backing swap file.
-func (d *Paged) Swap() *sfs.SwapFile { return d.swap }
-
-// info returns (creating if needed) the record for the page at va.
-func (d *Paged) info(va vm.VA) *pageInfo {
-	vpn := vm.PageOf(va)
-	pi, ok := d.pages[vpn]
-	if !ok {
-		pi = &pageInfo{blok: -1}
-		d.pages[vpn] = pi
-	}
-	return pi
-}
-
-// SatisfyFault implements domain.Driver. The fast path handles only
-// demand-zero faults with a free frame in hand; anything touching the disk
-// (eviction write-back, page-in) needs a worker thread, since IDC to the
-// USD is impossible inside a notification handler.
-func (d *Paged) SatisfyFault(p *sim.Proc, f *vm.Fault, canIDC bool) domain.Result {
-	d.Stats.Faults++
-	if f.Class != vm.PageFault || !d.st.Contains(f.VA) {
-		return domain.Failure
-	}
-	f.Span.BeginHop("driver")
-	va := vm.PageOf(f.VA).Base()
-	pi := d.info(va)
-	needsPageIn := pi.onDisk && !d.Forgetful
-
-	pfn, haveFrame := d.findUnusedFrame()
-	if !canIDC {
-		if !haveFrame || needsPageIn {
-			return domain.Retry
-		}
-		d.Stats.FastFaults++
-	}
-
-	if !haveFrame {
-		// Try the allocator first (it may have optimistic frames for
-		// us); fall back to evicting one of our own pages.
-		if newPFN, err := d.memc().TryAllocFrame(); err == nil {
-			pfn, haveFrame = newPFN, true
-		} else {
-			f.Span.BeginHop("evict")
-			evicted, err := d.evictOne(p, f.Span)
-			if err != nil {
-				return domain.Failure
-			}
-			pfn, haveFrame = evicted, true
-		}
-	}
-
-	if needsPageIn {
-		buf := make([]byte, vm.PageSize)
-		off := d.blok.BlockOffset(pi.blok)
-		if err := d.swap.ReadSpanned(p, off, int(d.blok.BlokBlocks()), buf, f.Span); err != nil {
-			return domain.Failure
-		}
-		copy(d.env().Store.Frame(pfn), buf)
-		d.Stats.PageIns++
-		d.cPageIns.Inc()
-	} else {
-		d.env().Store.Zero(pfn)
-		d.Stats.ZeroFills++
-	}
-
-	f.Span.BeginHop("map")
-	if err := d.mapFrame(va, pfn); err != nil {
-		return domain.Failure
-	}
-	d.fifo = append(d.fifo, va)
-	// The mapping is fresh: the in-memory copy will diverge on first
-	// write (FOW bit tracks that); the disk copy remains valid until
-	// then, but we keep it simple and treat memory as authoritative:
-	// onDisk stays true so an unmodified page needs no write-back.
-	return domain.Success
-}
-
-// pickVictim removes and returns the next eviction victim from the FIFO,
-// honouring second chance if enabled.
-func (d *Paged) pickVictim() (vm.VA, bool) {
-	passes := 0
-	for len(d.fifo) > 0 && passes < 2*len(d.fifo)+2 {
-		va := d.fifo[0]
-		d.fifo = d.fifo[1:]
-		if d.SecondChance {
-			if ref, err := d.env().TS.IsReferenced(va); err == nil && ref {
-				// Give it a second chance: clear by re-arming FOR via
-				// the paged driver's own bookkeeping and re-queue.
-				if pte := d.env().TS.PageTable().Lookup(vm.PageOf(va)); pte != nil {
-					pte.Referenced = false
-					pte.Attr.FOR = true
-				}
-				d.fifo = append(d.fifo, va)
-				d.Stats.Spares++
-				passes++
-				continue
-			}
-		}
-		return va, true
-	}
-	if len(d.fifo) > 0 {
-		va := d.fifo[0]
-		d.fifo = d.fifo[1:]
-		return va, true
-	}
-	return 0, false
-}
-
-// evictOne unmaps a victim page, writing it to swap if dirty, and returns
-// the freed frame. Runs only in worker context (disk IDC). sp, when
-// non-nil, receives the write-back's USD hops (eviction on behalf of a
-// demand fault is part of that fault's causal chain).
-func (d *Paged) evictOne(p *sim.Proc, sp *obs.Span) (mem.PFN, error) {
-	va, ok := d.pickVictim()
-	if !ok {
-		return 0, ErrNoBloks // no pages to evict: cannot proceed
-	}
-	pfn, dirty, err := d.unmapVA(va)
-	if err != nil {
-		return 0, err
-	}
-	pi := d.info(va)
-	if dirty || !pi.onDisk {
-		if pi.blok < 0 {
-			blok, err := d.blok.Alloc()
-			if err != nil {
-				return 0, err
-			}
-			pi.blok = blok
-		}
-		buf := make([]byte, vm.PageSize)
-		copy(buf, d.env().Store.Frame(pfn))
-		off := d.blok.BlockOffset(pi.blok)
-		if err := d.swap.WriteSpanned(p, off, int(d.blok.BlokBlocks()), buf, sp); err != nil {
-			return 0, err
-		}
-		pi.onDisk = true
-		d.Stats.PageOuts++
-		d.cPageOuts.Inc()
-	}
-	d.Stats.Evictions++
-	d.cEvictions.Inc()
-	return pfn, nil
-}
-
-// Relinquish implements domain.Driver: free unused frames first, then clean
-// and evict mapped pages, leaving the freed frames at the top of the stack
-// for the allocator to reclaim.
-func (d *Paged) Relinquish(p *sim.Proc, k int) int {
-	claimed := make(map[mem.PFN]bool)
-	for len(claimed) < k {
-		if pfn, ok := d.findUnusedFrameExcept(claimed); ok {
-			claimed[pfn] = true
-			d.stack().MoveToTop(pfn)
-			continue
-		}
-		pfn, err := d.evictOne(p, nil)
-		if err != nil {
-			break
-		}
-		claimed[pfn] = true
-		d.stack().MoveToTop(pfn)
-	}
-	return len(claimed)
-}
-
-// ResidentPages returns the number of currently mapped pages.
-func (d *Paged) ResidentPages() int { return len(d.fifo) }
+func (d *Paged) Swap() *sfs.SwapFile { return d.swap.File() }
 
 // SwapFreeBloks returns the unallocated swap capacity in bloks.
-func (d *Paged) SwapFreeBloks() int64 { return d.blok.Free() }
+func (d *Paged) SwapFreeBloks() int64 { return d.swap.FreeBloks() }

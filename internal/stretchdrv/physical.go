@@ -106,67 +106,16 @@ func (n *Nailed) Relinquish(p *sim.Proc, k int) int { return 0 }
 
 // Physical provides no backing initially; the first authorised access to
 // any page faults and the driver maps a frame from the domain's resources.
-// It has no backing store: pages never leave memory once mapped.
+// It is the engine with no backing store: pages never leave memory once
+// mapped, Relinquish can only give up unused frames, and the worker fault
+// path may block in the frames allocator.
 type Physical struct {
-	base
-	st *vm.Stretch
-
-	// Faults/FastFaults count resolution attempts for tests.
-	Faults, FastFaults int64
+	*Engine
 }
 
 // NewPhysical creates a physical stretch driver for st and binds it.
 func NewPhysical(dom *domain.Domain, st *vm.Stretch) *Physical {
-	d := &Physical{base: base{dom: dom}, st: st}
+	d := &Physical{Engine: newEngine(dom, st, "physical", nil, nil, nil, 1)}
 	dom.Bind(st, d)
 	return d
-}
-
-// DriverName implements domain.Driver.
-func (d *Physical) DriverName() string { return "physical" }
-
-// SatisfyFault implements domain.Driver, following the paper's two-step
-// scheme: the fast path (notification handler; no IDC) looks for an unused
-// frame and returns Retry if there is none; the worker path may invoke the
-// frames allocator.
-func (d *Physical) SatisfyFault(p *sim.Proc, f *vm.Fault, canIDC bool) domain.Result {
-	d.Faults++
-	if f.Class != vm.PageFault || !d.st.Contains(f.VA) {
-		return domain.Failure
-	}
-	va := vm.PageOf(f.VA).Base()
-	pfn, ok := d.findUnusedFrame()
-	if !ok {
-		if !canIDC {
-			return domain.Retry
-		}
-		var err error
-		pfn, err = d.memc().AllocFrame(p)
-		if err != nil {
-			return domain.Failure
-		}
-	} else if !canIDC {
-		d.FastFaults++
-	}
-	d.env().Store.Zero(pfn)
-	if err := d.mapFrame(va, pfn); err != nil {
-		return domain.Failure
-	}
-	return domain.Success
-}
-
-// Relinquish implements domain.Driver: only unused frames can be given up —
-// a physical driver has nowhere to save page contents.
-func (d *Physical) Relinquish(p *sim.Proc, k int) int {
-	claimed := make(map[mem.PFN]bool)
-	for len(claimed) < k {
-		pfn, ok := d.findUnusedFrameExcept(claimed)
-		if !ok {
-			break
-		}
-		// Move it to the top; the allocator reclaims from there.
-		claimed[pfn] = true
-		d.stack().MoveToTop(pfn)
-	}
-	return len(claimed)
 }

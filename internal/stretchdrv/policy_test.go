@@ -1,0 +1,187 @@
+package stretchdrv_test
+
+// Property-based checks (testing/quick) of the replacement policies against
+// a reference model: residency tracked in a plain set, referenced bits in a
+// map. The policies are pure data structures, so they can be driven directly
+// without a simulator.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nemesis/internal/stretchdrv"
+	"nemesis/internal/vm"
+)
+
+// fakePageState is an in-memory referenced-bit table standing in for the
+// engine's translation-system view.
+type fakePageState map[vm.VA]bool
+
+func (f fakePageState) Referenced(va vm.VA) bool { return f[va] }
+func (f fakePageState) ClearReferenced(va vm.VA) { f[va] = false }
+
+var allPolicies = []stretchdrv.PolicyKind{
+	stretchdrv.PolicyFIFO, stretchdrv.PolicySecondChance, stretchdrv.PolicyClock,
+}
+
+// TestPolicyModelQuick drives each policy with random access traces under a
+// random capacity and checks the structural invariants: the tracked resident
+// set never exceeds the capacity, every evicted page was resident, and
+// Resident() always matches the model set exactly.
+func TestPolicyModelQuick(t *testing.T) {
+	for _, kind := range allPolicies {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			prop := func(accesses []uint8, capRaw uint8) bool {
+				capacity := int(capRaw%6) + 1
+				pol, err := stretchdrv.NewPolicy(kind)
+				if err != nil {
+					return false
+				}
+				ps := fakePageState{}
+				resident := map[vm.VA]bool{}
+				for _, b := range accesses {
+					va := vm.VA(int(b%16) * vm.PageSize)
+					if resident[va] {
+						ps[va] = true // re-access sets the referenced bit
+						continue
+					}
+					if len(resident) == capacity {
+						victim, _, ok := pol.Victim(ps)
+						if !ok || !resident[victim] {
+							return false // evicted a non-resident page
+						}
+						delete(resident, victim)
+						delete(ps, victim)
+					}
+					pol.NoteMapped(va)
+					resident[va] = true
+					ps[va] = true
+					if pol.Len() != len(resident) || pol.Len() > capacity {
+						return false
+					}
+					view := pol.Resident()
+					if len(view) != len(resident) {
+						return false
+					}
+					for _, r := range view {
+						if !resident[r] {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPolicySparesReferencedQuick: for random referenced-bit assignments with
+// at least one unreferenced resident page, second chance and CLOCK must never
+// pick a referenced page as the victim (clearing a bit never sets another, so
+// the victim must be one of the initially-unreferenced pages).
+func TestPolicySparesReferencedQuick(t *testing.T) {
+	for _, kind := range []stretchdrv.PolicyKind{stretchdrv.PolicySecondChance, stretchdrv.PolicyClock} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			prop := func(refBits []bool) bool {
+				if len(refBits) == 0 {
+					return true
+				}
+				pol, err := stretchdrv.NewPolicy(kind)
+				if err != nil {
+					return false
+				}
+				ps := fakePageState{}
+				unref := map[vm.VA]bool{}
+				any := false
+				for i, r := range refBits {
+					va := vm.VA(i * vm.PageSize)
+					pol.NoteMapped(va)
+					ps[va] = r
+					if !r {
+						unref[va] = true
+						any = true
+					}
+				}
+				victim, spared, ok := pol.Victim(ps)
+				if !ok {
+					return false
+				}
+				if any && !unref[victim] {
+					return false // evicted a just-referenced page over an idle one
+				}
+				if !any && spared < len(refBits) {
+					return false // a full sweep must have cleared every bit
+				}
+				return true
+			}
+			if err := quick.Check(prop, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPolicyVictimExhaustion: draining a policy yields each page exactly once
+// and then reports ok=false.
+func TestPolicyVictimExhaustion(t *testing.T) {
+	for _, kind := range allPolicies {
+		pol, err := stretchdrv.NewPolicy(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := fakePageState{}
+		const n = 9
+		for i := 0; i < n; i++ {
+			pol.NoteMapped(vm.VA(i * vm.PageSize))
+		}
+		seen := map[vm.VA]bool{}
+		for i := 0; i < n; i++ {
+			va, _, ok := pol.Victim(ps)
+			if !ok {
+				t.Fatalf("%s: exhausted after %d of %d", kind, i, n)
+			}
+			if seen[va] {
+				t.Fatalf("%s: evicted %#x twice", kind, va)
+			}
+			seen[va] = true
+		}
+		if _, _, ok := pol.Victim(ps); ok {
+			t.Fatalf("%s: victim from an empty policy", kind)
+		}
+	}
+}
+
+// BenchmarkPolicyVictim measures steady-state victim selection + remap for
+// each policy over a 64-page resident set with a referenced hot half.
+func BenchmarkPolicyVictim(b *testing.B) {
+	for _, kind := range allPolicies {
+		kind := kind
+		b.Run(string(kind), func(b *testing.B) {
+			pol, err := stretchdrv.NewPolicy(kind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ps := fakePageState{}
+			const n = 64
+			for i := 0; i < n; i++ {
+				va := vm.VA(i * vm.PageSize)
+				pol.NoteMapped(va)
+				ps[va] = i%2 == 0
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				va, _, ok := pol.Victim(ps)
+				if !ok {
+					b.Fatal("no victim")
+				}
+				pol.NoteMapped(va)
+				ps[va] = i%2 == 0
+			}
+		})
+	}
+}

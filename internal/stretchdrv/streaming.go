@@ -96,7 +96,7 @@ func (s *Streaming) SatisfyFault(p *sim.Proc, f *vm.Fault, canIDC bool) domain.R
 		}
 		// Prefetch failed; fall through to the demand path.
 	}
-	res := s.Paged.SatisfyFault(p, f, canIDC)
+	res := s.Engine.SatisfyFault(p, f, canIDC)
 	if res == domain.Success {
 		s.noteAccess(vpn)
 	}
@@ -123,14 +123,13 @@ func (s *Streaming) noteAccess(vpn vm.VPN) {
 }
 
 // nextTarget returns the lowest wanted page that is worth prefetching:
-// on disk, not resident, not already in flight.
+// on disk, recallable, not resident, not already in flight.
 func (s *Streaming) nextTarget() (vm.VPN, bool) {
 	for vpn := s.wantFrom; vpn < s.wantTo; vpn++ {
 		if _, busy := s.inflight[vpn]; busy {
 			continue
 		}
-		pi, tracked := s.pages[vpn]
-		if !tracked || !pi.onDisk || s.Forgetful {
+		if !s.swap.HasCopy(vpn.Base()) || !s.writeback.RecallDiskCopy() {
 			continue // demand-zero pages are not worth a disk read
 		}
 		if pte := s.env().TS.PageTable().Lookup(vpn); pte != nil && pte.Valid {
@@ -176,13 +175,16 @@ func (s *Streaming) prefetchLoop(t *domain.Thread) {
 			if !free {
 				break // opportunistic: no frames to spare, no prefetch
 			}
+			block, onDisk := s.swap.DiskBlock(vpn.Base())
+			if !onDisk {
+				break // raced with a forgetful discard; nothing to read
+			}
 			e := &pfEntry{done: sim.NewCond(s.env().Sim)}
 			s.inflight[vpn] = e
-			pi := s.info(vpn.Base())
 			req := &usd.Request{
 				Op:    disk.Read,
-				Block: s.swap.Extent().Start + s.blok.BlockOffset(pi.blok),
-				Count: int(s.blok.BlokBlocks()),
+				Block: block,
+				Count: int(s.swap.BlokBlocks()),
 				Tag:   vpn,
 			}
 			// Reserve the frame against concurrent claims: mark its
@@ -222,7 +224,7 @@ func (s *Streaming) prefetchLoop(t *domain.Thread) {
 				if err := s.mapFrame(fl.vpn.Base(), fl.pfn); err != nil {
 					ok = false
 				} else {
-					s.fifo = append(s.fifo, fl.vpn.Base())
+					s.policy.NoteMapped(fl.vpn.Base())
 					s.Prefetches++
 					s.cPrefetches.Inc()
 					s.Stats.PageIns++

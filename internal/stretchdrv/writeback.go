@@ -1,0 +1,68 @@
+package stretchdrv
+
+import "fmt"
+
+// WritebackPolicy decides when a pager's dirty data reaches its backing
+// store, and whether existing backing copies are honoured on fault.
+type WritebackPolicy interface {
+	// Name identifies the policy in metrics and traces.
+	Name() string
+	// RecallDiskCopy reports whether a fault on a page with a current
+	// backing copy should page it in. The forgetful driver of the paper's
+	// page-out experiment (Fig. 8) returns false: it "forgets" disk copies
+	// and zero-fills instead, so the workload is pure page-out traffic.
+	RecallDiskCopy() bool
+	// CleanOnEvict reports whether eviction writes dirty victims back.
+	// When false, dirty victims are discarded and only an explicit Sync
+	// persists data (sync-on-request).
+	CleanOnEvict() bool
+}
+
+// WritebackKind names a writeback policy for spec-based construction. The
+// empty string means WritebackDemand.
+type WritebackKind string
+
+const (
+	// WritebackDemand cleans dirty victims at eviction and pages disk
+	// copies back in on fault — ordinary demand paging.
+	WritebackDemand WritebackKind = "demand"
+	// WritebackForgetful is Fig. 8's modified driver: evictions still
+	// clean, but disk copies are never recalled, so the driver never
+	// pages in.
+	WritebackForgetful WritebackKind = "forgetful"
+	// WritebackSync discards dirty victims at eviction; data reaches the
+	// backing store only through an explicit Sync.
+	WritebackSync WritebackKind = "sync-on-request"
+)
+
+// NewWriteback builds the writeback policy of the given kind.
+func NewWriteback(kind WritebackKind) (WritebackPolicy, error) {
+	switch kind {
+	case "", WritebackDemand:
+		return demandWriteback{}, nil
+	case WritebackForgetful:
+		return forgetfulWriteback{}, nil
+	case WritebackSync:
+		return syncWriteback{}, nil
+	default:
+		return nil, fmt.Errorf("stretchdrv: unknown writeback policy %q", kind)
+	}
+}
+
+type demandWriteback struct{}
+
+func (demandWriteback) Name() string         { return string(WritebackDemand) }
+func (demandWriteback) RecallDiskCopy() bool { return true }
+func (demandWriteback) CleanOnEvict() bool   { return true }
+
+type forgetfulWriteback struct{}
+
+func (forgetfulWriteback) Name() string         { return string(WritebackForgetful) }
+func (forgetfulWriteback) RecallDiskCopy() bool { return false }
+func (forgetfulWriteback) CleanOnEvict() bool   { return true }
+
+type syncWriteback struct{}
+
+func (syncWriteback) Name() string         { return string(WritebackSync) }
+func (syncWriteback) RecallDiskCopy() bool { return true }
+func (syncWriteback) CleanOnEvict() bool   { return false }

@@ -38,8 +38,17 @@ type PagerConfig struct {
 	// Write makes the main loop write every byte instead of reading
 	// (the page-out experiment).
 	Write bool
-	// Forgetful installs the modified stretch driver that never pages in.
+	// Forgetful installs the modified stretch driver that never pages in
+	// (shorthand for Writeback = stretchdrv.WritebackForgetful).
 	Forgetful bool
+	// Policy selects the replacement policy ("" = FIFO).
+	Policy stretchdrv.PolicyKind
+	// Writeback selects the writeback policy ("" = demand, unless
+	// Forgetful is set).
+	Writeback stretchdrv.WritebackKind
+	// ClusterSize caps how many dirty pages one eviction cleans in a
+	// single batch (<= 1 disables write clustering).
+	ClusterSize int
 	// SkipInit skips the initialisation passes (demand-zero read and
 	// dirtying write) — used by ablations that only need steady traffic.
 	SkipInit bool
@@ -85,11 +94,23 @@ func StartPager(sys *core.System, cfg PagerConfig, series *trace.Series) (*Pager
 	if err != nil {
 		return nil, err
 	}
-	st, drv, err := sys.NewPagedStretch(dom, cfg.VirtBytes, cfg.SwapBytes, cfg.DiskQoS)
+	wb := cfg.Writeback
+	if wb == "" && cfg.Forgetful {
+		wb = stretchdrv.WritebackForgetful
+	}
+	st, gdrv, err := sys.NewStretch(dom, core.PagerSpec{
+		Kind:        core.KindPaged,
+		Size:        cfg.VirtBytes,
+		SwapBytes:   cfg.SwapBytes,
+		DiskQoS:     cfg.DiskQoS,
+		Policy:      cfg.Policy,
+		Writeback:   wb,
+		ClusterSize: cfg.ClusterSize,
+	})
 	if err != nil {
 		return nil, err
 	}
-	drv.Forgetful = cfg.Forgetful
+	drv := gdrv.(*stretchdrv.Paged)
 	pg := &Pager{Cfg: cfg, Dom: dom, Stretch: st, Drv: drv, Series: series}
 
 	dom.Go("main", func(t *domain.Thread) {
