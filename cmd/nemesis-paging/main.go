@@ -6,6 +6,10 @@
 //	-fig 0   run every ablation (laxity, FCFS, crosstalk, slack, revocation)
 //	-ext     run the extensions (pipeline depth, second chance, guarded
 //	         page table, stream paging)
+//	-e8 sweep|outage|degrade|all
+//	         run the netswap experiments (remote paging over a simulated
+//	         network: latency/loss sweep, outage isolation, tiered
+//	         degradation)
 //
 // The top halves of Figs. 7/8 (sustained bandwidth series) print as TSV;
 // summary ratios follow. Use nemesis-trace for the bottom halves.
@@ -29,10 +33,15 @@ func main() {
 	measure := flag.Duration("measure", 40*time.Second, "measured window of simulated time")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	metrics := flag.Bool("metrics", false, "enable fault-path telemetry and append span/metric summaries (figs 7/8)")
+	e8 := flag.String("e8", "", "netswap experiment: sweep, outage, degrade, or all")
 	flag.Parse()
 
 	if *ext {
 		runExtensions(*measure)
+		return
+	}
+	if *e8 != "" {
+		runNetswap(*e8, *measure)
 		return
 	}
 
@@ -175,6 +184,60 @@ func runExtensions(measure time.Duration) {
 	}
 	fmt.Printf("E6 mjpeg player:   QoS miss %.1f%% jitter %.2fms   conventional miss %.1f%% jitter %.2fms\n",
 		100*mj.QoSMissRate, mj.QoSJitterMs, 100*mj.FCFSMissRate, mj.FCFSJitterMs)
+}
+
+func runNetswap(which string, measure time.Duration) {
+	if measure > 15*time.Second {
+		measure = 15 * time.Second
+	}
+	all := which == "all"
+	ran := false
+	if all || which == "sweep" {
+		ran = true
+		latencies := []time.Duration{200 * time.Microsecond, time.Millisecond, 2 * time.Millisecond}
+		losses := []float64{0, 0.05}
+		res, err := experiments.RunNetswapSweep(latencies, losses, measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("# E8a netswap sweep: fault-latency breakdown vs link latency and loss")
+		fmt.Println("latency\tloss\tMbit/s\tnet.out p50/p95 ms\tstore p50/p95 ms\tnet.back p50/p95 ms\trpcs\tretries\ttimeouts")
+		for _, c := range res.Cells {
+			fmt.Printf("%v\t%.2f\t%.2f\t%.3f/%.3f\t%.3f/%.3f\t%.3f/%.3f\t%d\t%d\t%d\n",
+				c.Latency, c.Loss, c.Mbps,
+				c.NetOutP50Ms, c.NetOutP95Ms, c.StoreP50Ms, c.StoreP95Ms,
+				c.NetBackP50Ms, c.NetBackP95Ms, c.RPCs, c.Retries, c.Timeouts)
+		}
+	}
+	if all || which == "outage" {
+		ran = true
+		res, err := experiments.RunNetswapOutage(measure / 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("# E8b netswap outage isolation: Mbit/s before/during/after a remote outage")
+		fmt.Printf("local (swap disk):\t%v\n", fmtF(res.LocalMbps[:]))
+		fmt.Printf("remote (netswap):\t%v\n", fmtF(res.RemoteMbps[:]))
+		fmt.Printf("crosstalk flags: %d (monitor ticks: %d)\n", len(res.Flags), res.MonitorTicks)
+		for _, f := range res.Flags {
+			fmt.Printf("  FLAG %+v\n", f)
+		}
+	}
+	if all || which == "degrade" {
+		ran = true
+		res, err := experiments.RunNetswapDegrade(measure / 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("# E8c netswap tiered degradation: Mbit/s before/during/after a remote outage")
+		fmt.Printf("tiered domain:\t%v\tdegraded during outage: %v\n", fmtF(res.Mbps[:]), res.DegradedDuringOutage)
+		fmt.Printf("demotions %d  local fallbacks %d  deadline misses %d  degraded entries %d  local hits %d\n",
+			res.Stats.Demotions, res.Stats.LocalFallbacks, res.Stats.DeadlineMisses,
+			res.Stats.DegradedEntries, res.Stats.LocalHits)
+	}
+	if !ran {
+		log.Fatalf("nemesis-paging: unknown -e8 experiment %q (want sweep, outage, degrade or all)", which)
+	}
 }
 
 func fmtRatios(rs []float64) string {

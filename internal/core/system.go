@@ -15,6 +15,7 @@ import (
 	"nemesis/internal/disk"
 	"nemesis/internal/domain"
 	"nemesis/internal/mem"
+	"nemesis/internal/netswap"
 	"nemesis/internal/obs"
 	"nemesis/internal/sfs"
 	"nemesis/internal/sim"
@@ -49,6 +50,12 @@ type Config struct {
 	// series and the crosstalk monitor. Off by default; when off, the
 	// fault fast path carries no instrumentation cost at all.
 	Telemetry bool
+	// NetSwap configures the remote-paging fabric (link, remote swap
+	// server, client defaults) for stretches that page to a remote or
+	// tiered backing. Nil means netswap.DefaultConfig() when such a
+	// stretch is first created; the fabric is only built on demand, so
+	// purely local systems carry no server machinery.
+	NetSwap *netswap.Config
 	// SpanCap bounds the retained-span ring (0 = obs.DefaultSpanCap).
 	SpanCap int
 }
@@ -87,6 +94,9 @@ type System struct {
 	USDLog *trace.Log
 	// Obs is the telemetry registry, nil unless Config.Telemetry is set.
 	Obs *obs.Registry
+	// NetSwap is the remote-paging fabric, nil until a remote or tiered
+	// stretch is created (or EnableNetSwap is called).
+	NetSwap *netswap.Fabric
 
 	domains map[mem.DomainID]*domain.Domain
 	nextID  mem.DomainID
@@ -242,9 +252,21 @@ type PagerSpec struct {
 	ClusterSize int
 
 	// SwapBytes and DiskQoS size and contract the swap file (paged,
-	// streaming).
+	// streaming). For BackingTiered they size the local tier.
 	SwapBytes int64
 	DiskQoS   atropos.QoS
+
+	// Backing selects where a paged stretch cleans to: the local swap
+	// file (default), the remote swap server, or the tiered composition
+	// of both. Non-default values build the system's netswap fabric on
+	// first use.
+	Backing BackingKind
+	// Remote overrides the fabric's default RPC options (window, timeout,
+	// retries, batch) for this stretch's client. Nil = fabric defaults.
+	Remote *netswap.RemoteOptions
+	// Tiered overrides the fabric's default tiering options (deadline
+	// budget, cooldown) for BackingTiered. Nil = fabric defaults.
+	Tiered *netswap.TieredOptions
 
 	// Window and PrefetchQoS configure the streaming driver's read-ahead
 	// pipeline.
@@ -259,6 +281,21 @@ type PagerSpec struct {
 	Thread *domain.Thread
 }
 
+// BackingKind selects a paged stretch's backing store.
+type BackingKind string
+
+const (
+	// BackingSwap pages to a local swap file (the default).
+	BackingSwap BackingKind = ""
+	// BackingRemote pages to the remote swap server over the netswap
+	// fabric's link.
+	BackingRemote BackingKind = "remote"
+	// BackingTiered pages to a small local swap tier backed by the large
+	// remote store (demote-on-clean / promote-on-fault, degrading to the
+	// local tier when the remote misses its deadline budget).
+	BackingTiered BackingKind = "tiered"
+)
+
 // kind resolves KindAuto from the populated fields.
 func (spec PagerSpec) kind() StretchKind {
 	if spec.Kind != KindAuto {
@@ -271,7 +308,7 @@ func (spec PagerSpec) kind() StretchKind {
 		return KindMapped
 	case spec.Window > 0:
 		return KindStreaming
-	case spec.SwapBytes > 0:
+	case spec.SwapBytes > 0 || spec.Backing != BackingSwap:
 		return KindPaged
 	default:
 		return KindPhysical
@@ -299,6 +336,9 @@ func (sys *System) NewStretch(dom *domain.Domain, spec PagerSpec) (*vm.Stretch, 
 		return st, paged, err
 
 	case KindStreaming:
+		if spec.Backing != BackingSwap {
+			return nil, nil, fmt.Errorf("core: streaming stretches need a local swap backing, not %q", spec.Backing)
+		}
 		st, paged, err := sys.newPaged(dom, spec)
 		if err != nil {
 			return nil, nil, err
@@ -361,20 +401,91 @@ func (sys *System) NewStretch(dom *domain.Domain, spec PagerSpec) (*vm.Stretch, 
 	}
 }
 
-// newPaged builds the stretch + swap file + paged driver of a spec (the
-// shared base of the paged and streaming kinds). The swap file uses
-// pipeline depth 1, as pagers cannot pipeline.
+// EnableNetSwap builds the remote-paging fabric (if not yet built) from
+// Config.NetSwap or the defaults, and returns it. Remote and tiered
+// stretches call it implicitly.
+func (sys *System) EnableNetSwap() (*netswap.Fabric, error) {
+	if sys.NetSwap != nil {
+		return sys.NetSwap, nil
+	}
+	cfg := netswap.DefaultConfig()
+	if sys.Config.NetSwap != nil {
+		cfg = *sys.Config.NetSwap
+	}
+	fab, err := netswap.New(sys.Sim, sys.Obs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys.NetSwap = fab
+	return fab, nil
+}
+
+// newPaged builds the stretch + backing + paged driver of a spec (the shared
+// base of the paged and streaming kinds). Local swap files use pipeline
+// depth 1, as pagers cannot pipeline; remote backings pipeline through their
+// RPC window instead.
 func (sys *System) newPaged(dom *domain.Domain, spec PagerSpec) (*vm.Stretch, *stretchdrv.Paged, error) {
 	st, err := dom.NewStretch(spec.Size)
 	if err != nil {
 		return nil, nil, err
 	}
-	swapName := fmt.Sprintf("%s-swap-%d", dom.Name(), st.ID())
-	swap, err := sys.SFS.CreateSwapFile(swapName, spec.SwapBytes, spec.DiskQoS, 1)
-	if err != nil {
-		return nil, nil, err
+
+	newSwap := func() (*stretchdrv.SwapBacking, error) {
+		swapName := fmt.Sprintf("%s-swap-%d", dom.Name(), st.ID())
+		swap, err := sys.SFS.CreateSwapFile(swapName, spec.SwapBytes, spec.DiskQoS, 1)
+		if err != nil {
+			return nil, err
+		}
+		return stretchdrv.NewSwapBacking(swap), nil
 	}
-	drv, err := stretchdrv.NewPagedOpts(dom, st, swap, spec.engineOpts())
+	newRemote := func() (*netswap.RemoteBacking, error) {
+		fab, err := sys.EnableNetSwap()
+		if err != nil {
+			return nil, err
+		}
+		client := fmt.Sprintf("%s-net-%d", dom.Name(), st.ID())
+		return fab.NewRemoteBacking(client, dom.Name(), spec.Remote)
+	}
+
+	var backing stretchdrv.Backing
+	switch spec.Backing {
+	case BackingSwap:
+		b, err := newSwap()
+		if err != nil {
+			return nil, nil, err
+		}
+		backing = b
+
+	case BackingRemote:
+		b, err := newRemote()
+		if err != nil {
+			return nil, nil, err
+		}
+		backing = b
+
+	case BackingTiered:
+		if spec.SwapBytes <= 0 {
+			return nil, nil, fmt.Errorf("core: tiered backing needs SwapBytes to size the local tier")
+		}
+		local, err := newSwap()
+		if err != nil {
+			return nil, nil, err
+		}
+		remote, err := newRemote()
+		if err != nil {
+			return nil, nil, err
+		}
+		topt := sys.NetSwap.Config().Tiered
+		if spec.Tiered != nil {
+			topt = *spec.Tiered
+		}
+		backing = netswap.NewTieredBacking(sys.Sim, sys.Obs, local, remote, dom.Name(), topt)
+
+	default:
+		return nil, nil, fmt.Errorf("core: unknown backing kind %q", spec.Backing)
+	}
+
+	drv, err := stretchdrv.NewPagedBacking(dom, st, backing, spec.engineOpts())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -465,11 +576,14 @@ func (sys *System) Run(d time.Duration) { sys.Sim.RunFor(d) }
 // RunUntilIdle drains the event queue (bounded by maxEvents).
 func (sys *System) RunUntilIdle(maxEvents int) { sys.Sim.RunUntilIdle(maxEvents) }
 
-// Shutdown stops background service loops (the USD and the crosstalk
-// monitor, if running) so RunUntilIdle terminates.
+// Shutdown stops background service loops (the USD, the crosstalk monitor
+// and the netswap server, if running) so RunUntilIdle terminates.
 func (sys *System) Shutdown() {
 	if sys.monitor != nil {
 		sys.monitor.Stop()
+	}
+	if sys.NetSwap != nil {
+		sys.NetSwap.Stop()
 	}
 	sys.USD.Stop()
 }

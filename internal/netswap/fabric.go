@@ -1,0 +1,97 @@
+package netswap
+
+import (
+	"fmt"
+
+	"nemesis/internal/obs"
+	"nemesis/internal/sim"
+)
+
+// Config bundles the whole remote-paging fabric: one link, one server, and
+// the default client/tiering options new backings inherit.
+type Config struct {
+	Link   LinkConfig
+	Server ServerConfig
+	Remote RemoteOptions
+	Tiered TieredOptions
+}
+
+// DefaultConfig returns a healthy fabric on the defaults of each layer.
+func DefaultConfig() Config {
+	return Config{
+		Link:   DefaultLinkConfig(),
+		Server: DefaultServerConfig(),
+		Remote: DefaultRemoteOptions(),
+		Tiered: DefaultTieredOptions(),
+	}
+}
+
+// Fabric owns the remote-paging plumbing: it routes client requests over the
+// link to the server and server replies back to the issuing client. One
+// fabric serves any number of RemoteBackings (one per paged stretch), all
+// sharing the link and the server while keeping disjoint server-side blok
+// maps.
+type Fabric struct {
+	s   *sim.Simulator
+	reg *obs.Registry
+	cfg Config
+
+	Link   *Link
+	Server *Server
+
+	clients map[string]*RemoteBacking
+}
+
+// New builds the fabric: link, server, and reply routing. reg may be nil.
+func New(s *sim.Simulator, reg *obs.Registry, cfg Config) (*Fabric, error) {
+	f := &Fabric{
+		s:       s,
+		reg:     reg,
+		cfg:     cfg,
+		Link:    NewLink(s, reg, cfg.Link),
+		clients: make(map[string]*RemoteBacking),
+	}
+	srv, err := NewServer(s, cfg.Server)
+	if err != nil {
+		return nil, err
+	}
+	f.Server = srv
+	srv.reply = func(rep *reply) {
+		f.Link.SendToClient(rep.wireSize(), func() {
+			if c, ok := f.clients[rep.Client]; ok {
+				c.deliver(rep)
+			}
+		})
+	}
+	return f, nil
+}
+
+// Config returns the fabric's configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// toServer offers one request frame to the link.
+func (f *Fabric) toServer(req *request) {
+	f.Link.SendToServer(req.wireSize(), func() { f.Server.handle(req) })
+}
+
+// NewRemoteBacking registers a client endpoint named client (which keys the
+// server-side blok map) for telemetry domain domName. opt nil = the fabric's
+// default remote options.
+func (f *Fabric) NewRemoteBacking(client, domName string, opt *RemoteOptions) (*RemoteBacking, error) {
+	if _, ok := f.clients[client]; ok {
+		return nil, fmt.Errorf("netswap: client %q already registered", client)
+	}
+	o := f.cfg.Remote
+	if opt != nil {
+		o = *opt
+	}
+	r := newRemoteBacking(f, client, domName, o)
+	f.clients[client] = r
+	return r, nil
+}
+
+// SetOutage blackholes (or restores) the fabric's link.
+func (f *Fabric) SetOutage(down bool) { f.Link.SetOutage(down) }
+
+// Stop shuts the server down so an idle-drain run terminates.
+func (f *Fabric) Stop() { f.Server.Stop() }

@@ -1,0 +1,159 @@
+// Package netswap implements remote paging over a simulated network: a link
+// model (latency, bandwidth, jitter, loss, duplication — all driven by the
+// deterministic simulated clock), a remote swap server that services page
+// read/write RPCs against its own disk and per-client blok maps, a
+// RemoteBacking that speaks that protocol through a bounded in-flight request
+// window with per-request timeouts and exponential-backoff retries, and a
+// TieredBacking that composes a fast local swap tier with the large remote
+// tier (demote-on-clean / promote-on-fault) and degrades to the local tier
+// when the remote misses its deadline budget.
+//
+// Everything stays inside the paper's QoS firewall: every remote stall is
+// taken on the faulting domain's own simulated process, so an outage or a
+// lossy link slows only the domain that pages remotely.
+package netswap
+
+import (
+	"math/rand"
+	"time"
+
+	"nemesis/internal/obs"
+	"nemesis/internal/sim"
+)
+
+// LinkConfig describes one simulated network link between the paging client
+// machine and the remote swap server. Both directions share the parameters
+// but serialise independently (full duplex).
+type LinkConfig struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// BandwidthBps is the wire rate in bytes per second (0 = infinite).
+	// Frames serialise through each direction at this rate.
+	BandwidthBps int64
+	// Jitter is the maximum extra per-frame delay, drawn uniformly from
+	// [0, Jitter) by the link's own seeded RNG.
+	Jitter time.Duration
+	// DropProb and DupProb are per-frame loss and duplication
+	// probabilities.
+	DropProb, DupProb float64
+	// Seed drives the link's private RNG; identical seeds give identical
+	// delivery schedules.
+	Seed int64
+}
+
+// DefaultLinkConfig returns a healthy datacentre-ish link: 200 us one way,
+// 1 Gbit/s, 20 us jitter, no loss.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
+		Latency:      200 * time.Microsecond,
+		BandwidthBps: 125_000_000, // 1 Gbit/s
+		Jitter:       20 * time.Microsecond,
+		Seed:         1,
+	}
+}
+
+// LinkStats counts link-level activity (both directions combined).
+type LinkStats struct {
+	Frames     int64 // frames offered to the link
+	Drops      int64 // frames lost (including all frames during an outage)
+	Dups       int64 // frames duplicated
+	BytesSent  int64 // bytes accepted onto the wire
+	OutageDrop int64 // drops attributable to SetOutage(true)
+}
+
+// wire is one direction of the link; frames serialise through its busy time.
+type wire struct {
+	busyUntil sim.Time
+}
+
+// Link is the simulated network connecting paging clients to the remote swap
+// server. It is not a Backing itself — the Fabric wires RemoteBacking and
+// Server endpoints through it.
+type Link struct {
+	s      *sim.Simulator
+	cfg    LinkConfig
+	rng    *rand.Rand
+	up     wire // client -> server
+	down   wire // server -> client
+	outage bool
+
+	Stats LinkStats
+
+	cDrops, cDups, cFrames *obs.Counter
+}
+
+// NewLink builds a link on s. reg may be nil (no telemetry).
+func NewLink(s *sim.Simulator, reg *obs.Registry, cfg LinkConfig) *Link {
+	return &Link{
+		s:       s,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cDrops:  reg.Counter("netswap", "link_drops", ""),
+		cDups:   reg.Counter("netswap", "link_dups", ""),
+		cFrames: reg.Counter("netswap", "link_frames", ""),
+	}
+}
+
+// Config returns the link parameters.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// SetOutage blackholes the link (both directions) while down is true —
+// every offered frame is dropped, modelling a dead switch or partition.
+func (l *Link) SetOutage(down bool) { l.outage = down }
+
+// Outage reports whether the link is currently blackholed.
+func (l *Link) Outage() bool { return l.outage }
+
+// delay computes the scheduling delay for a frame of size bytes on w:
+// residual serialisation backlog + transmission time + propagation + jitter.
+func (l *Link) delay(w *wire, size int) time.Duration {
+	now := l.s.Now()
+	var tx time.Duration
+	if l.cfg.BandwidthBps > 0 {
+		tx = time.Duration(float64(size) / float64(l.cfg.BandwidthBps) * 1e9)
+	}
+	start := now
+	if w.busyUntil > start {
+		start = w.busyUntil
+	}
+	w.busyUntil = start.Add(tx)
+	d := w.busyUntil.Sub(now) + l.cfg.Latency
+	if l.cfg.Jitter > 0 {
+		d += time.Duration(l.rng.Int63n(int64(l.cfg.Jitter)))
+	}
+	return d
+}
+
+// send offers one frame of size bytes to direction w; deliver runs when (and
+// if) the frame arrives. Loss and duplication are decided here, so a dropped
+// frame still consumed RNG state deterministically.
+func (l *Link) send(w *wire, size int, deliver func()) {
+	l.Stats.Frames++
+	l.cFrames.Inc()
+	drop := l.rng.Float64() < l.cfg.DropProb
+	dup := l.rng.Float64() < l.cfg.DupProb
+	if l.outage {
+		l.Stats.Drops++
+		l.Stats.OutageDrop++
+		l.cDrops.Inc()
+		return
+	}
+	if drop {
+		l.Stats.Drops++
+		l.cDrops.Inc()
+		return
+	}
+	l.Stats.BytesSent += int64(size)
+	l.s.After(l.delay(w, size), deliver)
+	if dup {
+		l.Stats.Dups++
+		l.cDups.Inc()
+		l.s.After(l.delay(w, size), deliver)
+	}
+}
+
+// SendToServer offers a client->server frame.
+func (l *Link) SendToServer(size int, deliver func()) { l.send(&l.up, size, deliver) }
+
+// SendToClient offers a server->client frame.
+func (l *Link) SendToClient(size int, deliver func()) { l.send(&l.down, size, deliver) }

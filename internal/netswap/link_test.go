@@ -1,0 +1,100 @@
+package netswap_test
+
+import (
+	"testing"
+	"time"
+
+	"nemesis/internal/netswap"
+	"nemesis/internal/sim"
+)
+
+// runLink drives n frames of size bytes through a fresh link with cfg and
+// returns the delivery times.
+func runLink(cfg netswap.LinkConfig, n, size int) []sim.Time {
+	s := sim.New(1)
+	l := netswap.NewLink(s, nil, cfg)
+	var arrivals []sim.Time
+	for i := 0; i < n; i++ {
+		l.SendToServer(size, func() { arrivals = append(arrivals, s.Now()) })
+	}
+	s.RunUntilIdle(1 << 20)
+	return arrivals
+}
+
+func TestLinkDeterminism(t *testing.T) {
+	cfg := netswap.DefaultLinkConfig()
+	cfg.Jitter = 50 * time.Microsecond
+	cfg.DropProb = 0.2
+	cfg.DupProb = 0.1
+	a := runLink(cfg, 200, 4096)
+	b := runLink(cfg, 200, 4096)
+	if len(a) != len(b) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 99
+	c := runLink(cfg, 200, 4096)
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical delivery schedules")
+		}
+	}
+}
+
+func TestLinkLatencyAndBandwidth(t *testing.T) {
+	cfg := netswap.LinkConfig{Latency: time.Millisecond, BandwidthBps: 1_000_000, Seed: 1}
+	// One 1000-byte frame: 1 ms transmission + 1 ms propagation.
+	got := runLink(cfg, 1, 1000)
+	if len(got) != 1 {
+		t.Fatalf("want 1 delivery, got %d", len(got))
+	}
+	if want := sim.Time(2 * time.Millisecond); got[0] != want {
+		t.Fatalf("delivery at %v, want %v", got[0], want)
+	}
+	// Two back-to-back frames serialise: the second arrives one
+	// transmission time after the first.
+	got = runLink(cfg, 2, 1000)
+	if len(got) != 2 {
+		t.Fatalf("want 2 deliveries, got %d", len(got))
+	}
+	if d := got[1].Sub(got[0]); d != time.Millisecond {
+		t.Fatalf("serialisation gap %v, want 1ms", d)
+	}
+}
+
+func TestLinkLossDupOutage(t *testing.T) {
+	cfg := netswap.LinkConfig{Latency: time.Millisecond, DropProb: 1, Seed: 1}
+	if got := runLink(cfg, 10, 100); len(got) != 0 {
+		t.Fatalf("DropProb=1 delivered %d frames", len(got))
+	}
+	cfg = netswap.LinkConfig{Latency: time.Millisecond, DupProb: 1, Seed: 1}
+	if got := runLink(cfg, 10, 100); len(got) != 20 {
+		t.Fatalf("DupProb=1 delivered %d frames, want 20", len(got))
+	}
+
+	s := sim.New(1)
+	l := netswap.NewLink(s, nil, netswap.LinkConfig{Latency: time.Millisecond, Seed: 1})
+	delivered := 0
+	l.SetOutage(true)
+	l.SendToServer(100, func() { delivered++ })
+	l.SetOutage(false)
+	l.SendToServer(100, func() { delivered++ })
+	s.RunUntilIdle(1000)
+	if delivered != 1 {
+		t.Fatalf("outage delivered %d frames, want 1", delivered)
+	}
+	if l.Stats.OutageDrop != 1 {
+		t.Fatalf("OutageDrop = %d, want 1", l.Stats.OutageDrop)
+	}
+}

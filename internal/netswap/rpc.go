@@ -1,0 +1,69 @@
+package netswap
+
+import (
+	"errors"
+	"fmt"
+
+	"nemesis/internal/sim"
+	"nemesis/internal/vm"
+)
+
+// Errors surfaced by the remote paging protocol.
+var (
+	// ErrRemoteTimeout is returned when a call exhausts its retry budget
+	// without a reply (a dead or partitioned server).
+	ErrRemoteTimeout = errors.New("netswap: remote call timed out")
+	// ErrRemote wraps a definitive error reply from the server (store
+	// full, no copy); retrying cannot help.
+	ErrRemote = errors.New("netswap: server error")
+)
+
+// op distinguishes RPC directions.
+type op uint8
+
+const (
+	opRead op = iota
+	opWrite
+)
+
+// request is one page-service RPC travelling client -> server. Reads carry a
+// single VPN; writes carry a batch of VPNs with their page images
+// concatenated in Data (the "batched multi-page write merged into a single
+// RPC" of the design).
+type request struct {
+	ID     uint64
+	Client string
+	Op     op
+	VPNs   []vm.VPN
+	Data   []byte
+}
+
+// reply is the server's answer. ServiceStart/ServiceEnd bracket the remote
+// store's disk service (on the shared simulated timeline), so the client can
+// split its fault span into network RTT versus remote disk service exactly.
+type reply struct {
+	ID     uint64
+	Client string
+	Err    string // "" = ok; definitive server-side failure otherwise
+	Data   []byte // read payload
+	Txns   int    // disk transactions the server merged the batch into
+
+	ServiceStart, ServiceEnd sim.Time
+}
+
+// rpcHeaderBytes approximates the on-wire framing overhead per message.
+const rpcHeaderBytes = 64
+
+// wireSize returns the simulated frame size of a request.
+func (r *request) wireSize() int { return rpcHeaderBytes + 8*len(r.VPNs) + len(r.Data) }
+
+// wireSize returns the simulated frame size of a reply.
+func (r *reply) wireSize() int { return rpcHeaderBytes + len(r.Data) }
+
+// err converts a reply's error string into a wrapped Go error.
+func (r *reply) err() error {
+	if r.Err == "" {
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrRemote, r.Err)
+}

@@ -1,6 +1,8 @@
 package stretchdrv
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"nemesis/internal/disk"
@@ -33,6 +35,11 @@ type Backing interface {
 	// took. On return every written page has a current copy (HasCopy true).
 	WritePages(p *sim.Proc, pages []DirtyPage, sp *obs.Span) (txns int, err error)
 }
+
+// ErrNoCopy is returned by a Backing's ReadPage when the store holds no
+// current copy of the requested page (HasCopy would report false). Engines
+// check HasCopy first, so seeing it indicates a pager bug or a raced drop.
+var ErrNoCopy = errors.New("stretchdrv: no backing copy of page")
 
 // pageInfo is the swap backing's per-page record.
 type pageInfo struct {
@@ -98,11 +105,31 @@ func (b *SwapBacking) DiskBlock(va vm.VA) (int64, bool) {
 	return b.swap.Extent().Start + b.blok.BlockOffset(pi.blok), true
 }
 
-// ReadPage implements Backing.
+// ReadPage implements Backing. A page that was never cleaned (or was
+// dropped) has no swap copy to read; that is ErrNoCopy, not a read of a
+// bogus disk offset.
 func (b *SwapBacking) ReadPage(p *sim.Proc, va vm.VA, buf []byte, sp *obs.Span) error {
-	pi := b.info(va)
+	pi, ok := b.pages[vm.PageOf(va)]
+	if !ok || pi.blok < 0 || !pi.onDisk {
+		return fmt.Errorf("%w: va %#x", ErrNoCopy, uint64(va))
+	}
 	off := b.blok.BlockOffset(pi.blok)
 	return b.swap.ReadSpanned(p, off, int(b.blok.BlokBlocks()), buf, sp)
+}
+
+// Drop forgets va's swap copy and frees its blok (the tiered backing demotes
+// pages this way after they reach the remote store). Unknown pages are a
+// no-op.
+func (b *SwapBacking) Drop(va vm.VA) {
+	vpn := vm.PageOf(va)
+	pi, ok := b.pages[vpn]
+	if !ok {
+		return
+	}
+	if pi.blok >= 0 {
+		b.blok.FreeBlok(pi.blok)
+	}
+	delete(b.pages, vpn)
 }
 
 // WritePages implements Backing. Pages without a blok get one allocated
@@ -124,10 +151,17 @@ func (b *SwapBacking) WritePages(p *sim.Proc, pages []DirtyPage, sp *obs.Span) (
 				pi.blok = start + int64(i)
 			}
 		} else {
-			// No contiguous run left: fall back to singles.
-			for _, pi := range need {
+			// No contiguous run left: fall back to singles. If the swap
+			// fills mid-batch, put the partial allocation back — leaving
+			// bloks assigned to pages that were never written would leak
+			// them and make HasCopy lie on retry.
+			for i, pi := range need {
 				blok, err := b.blok.Alloc()
 				if err != nil {
+					for _, prev := range need[:i] {
+						b.blok.FreeBlok(prev.blok)
+						prev.blok = -1
+					}
 					return 0, err
 				}
 				pi.blok = blok

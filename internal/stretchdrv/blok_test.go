@@ -133,3 +133,102 @@ func TestBlokAllocatorProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBlokAllocRunAtNodeBoundary(t *testing.T) {
+	// Two full structures. A run that ends exactly at the first
+	// structure's last blok must succeed; one that would have to cross
+	// into the next structure must land entirely in the second.
+	a := NewBlokAllocator(2*nodeBloks, 16)
+	if start, err := a.AllocRun(nodeBloks - 4); err != nil || start != 0 {
+		t.Fatalf("run to near-boundary = %d, %v", start, err)
+	}
+	// 4 bloks remain free at the end of structure 0; a run of 8 cannot
+	// span structures, so it starts at the second structure's base.
+	if start, err := a.AllocRun(8); err != nil || start != nodeBloks {
+		t.Fatalf("boundary-crossing run = %d, %v; want %d", start, err, nodeBloks)
+	}
+	// The 4-blok tail of structure 0 is still allocatable as an exact fit.
+	if start, err := a.AllocRun(4); err != nil || start != nodeBloks-4 {
+		t.Fatalf("exact-fit tail run = %d, %v; want %d", start, err, nodeBloks-4)
+	}
+}
+
+func TestBlokAllocRunWholeNode(t *testing.T) {
+	// A run equal to the structure limit fills one structure exactly.
+	a := NewBlokAllocator(2*nodeBloks, 16)
+	if start, err := a.AllocRun(nodeBloks); err != nil || start != 0 {
+		t.Fatalf("whole-structure run = %d, %v", start, err)
+	}
+	if start, err := a.AllocRun(nodeBloks); err != nil || start != nodeBloks {
+		t.Fatalf("second whole-structure run = %d, %v", start, err)
+	}
+	if _, err := a.AllocRun(2); !errors.Is(err, ErrNoBloks) {
+		t.Fatalf("run on full allocator = %v", err)
+	}
+	if a.Free() != 0 {
+		t.Fatalf("free = %d", a.Free())
+	}
+}
+
+func TestBlokAllocRunOverNodeLimit(t *testing.T) {
+	// A run longer than any one structure can never succeed (runs do not
+	// span structures), even on an empty allocator with enough total
+	// bloks spread across structures.
+	a := NewBlokAllocator(2*nodeBloks, 16)
+	if _, err := a.AllocRun(nodeBloks + 1); !errors.Is(err, ErrNoBloks) {
+		t.Fatalf("over-limit run = %v, want ErrNoBloks", err)
+	}
+	if a.Free() != 2*nodeBloks {
+		t.Fatalf("failed run consumed bloks: free = %d", a.Free())
+	}
+}
+
+func TestBlokAllocRunShortLastNode(t *testing.T) {
+	// A partial last structure: its limit is the remaining blok count,
+	// not the bitmap's rounded-up word capacity.
+	a := NewBlokAllocator(nodeBloks+10, 16)
+	if start, err := a.AllocRun(nodeBloks); err != nil || start != 0 {
+		t.Fatalf("first run = %d, %v", start, err)
+	}
+	if start, err := a.AllocRun(10); err != nil || start != nodeBloks {
+		t.Fatalf("short-node run = %d, %v", start, err)
+	}
+	// The short node holds only 10 bloks; asking for 11 after freeing
+	// them must fail rather than run into phantom bitmap bits.
+	for i := int64(0); i < 10; i++ {
+		a.FreeBlok(nodeBloks + i)
+	}
+	if _, err := a.AllocRun(11); !errors.Is(err, ErrNoBloks) {
+		t.Fatalf("phantom-bit run = %v, want ErrNoBloks", err)
+	}
+}
+
+func TestBlokExhaustionThenSinglesFallback(t *testing.T) {
+	// Fragment the space so no 3-run exists but singles still do — the
+	// swap backing's fallback path.
+	a := NewBlokAllocator(8, 16)
+	for i := 0; i < 8; i++ {
+		a.Alloc()
+	}
+	a.FreeBlok(1)
+	a.FreeBlok(3)
+	a.FreeBlok(5)
+	if _, err := a.AllocRun(3); !errors.Is(err, ErrNoBloks) {
+		t.Fatalf("fragmented run = %v, want ErrNoBloks", err)
+	}
+	for _, want := range []int64{1, 3, 5} {
+		got, err := a.Alloc()
+		if err != nil || got != want {
+			t.Fatalf("single fallback = %d, %v; want %d", got, err, want)
+		}
+	}
+	if _, err := a.Alloc(); !errors.Is(err, ErrNoBloks) {
+		t.Fatalf("exhausted alloc = %v", err)
+	}
+	// Double free stays idempotent after exhaustion.
+	a.FreeBlok(3)
+	a.FreeBlok(3)
+	if a.Free() != 1 {
+		t.Fatalf("double free counted twice: free = %d", a.Free())
+	}
+}

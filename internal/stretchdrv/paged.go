@@ -44,6 +44,13 @@ func NewPaged(dom *domain.Domain, st *vm.Stretch, swap *sfs.SwapFile) *Paged {
 
 // NewPagedOpts is NewPaged with explicit policy choices.
 func NewPagedOpts(dom *domain.Domain, st *vm.Stretch, swap *sfs.SwapFile, opt PagerOptions) (*Paged, error) {
+	return NewPagedBacking(dom, st, NewSwapBacking(swap), opt)
+}
+
+// NewPagedBacking builds a paged driver over an arbitrary Backing (a local
+// swap file, a remote store, a tiered composition...) and binds it. The
+// engine is identical in every case; only where cleaned pages go differs.
+func NewPagedBacking(dom *domain.Domain, st *vm.Stretch, backing Backing, opt PagerOptions) (*Paged, error) {
 	policy, err := NewPolicy(opt.Policy)
 	if err != nil {
 		return nil, err
@@ -52,17 +59,32 @@ func NewPagedOpts(dom *domain.Domain, st *vm.Stretch, swap *sfs.SwapFile, opt Pa
 	if err != nil {
 		return nil, err
 	}
-	backing := NewSwapBacking(swap)
+	swap, _ := backing.(*SwapBacking) // nil for non-swap backings
 	d := &Paged{
 		Engine: newEngine(dom, st, "paged", policy, backing, wb, opt.ClusterSize),
-		swap:   backing,
+		swap:   swap,
 	}
 	dom.Bind(st, d)
 	return d, nil
 }
 
-// Swap exposes the backing swap file.
-func (d *Paged) Swap() *sfs.SwapFile { return d.swap.File() }
+// Backing exposes the driver's backing store.
+func (d *Paged) Backing() Backing { return d.Engine.backing }
 
-// SwapFreeBloks returns the unallocated swap capacity in bloks.
-func (d *Paged) SwapFreeBloks() int64 { return d.swap.FreeBloks() }
+// Swap exposes the backing swap file, or nil when the driver pages to a
+// non-swap backing (remote, tiered).
+func (d *Paged) Swap() *sfs.SwapFile {
+	if d.swap == nil {
+		return nil
+	}
+	return d.swap.File()
+}
+
+// SwapFreeBloks returns the unallocated swap capacity in bloks (0 for
+// non-swap backings).
+func (d *Paged) SwapFreeBloks() int64 {
+	if d.swap == nil {
+		return 0
+	}
+	return d.swap.FreeBloks()
+}

@@ -14,6 +14,7 @@ import (
 	"nemesis/internal/disk"
 	"nemesis/internal/domain"
 	"nemesis/internal/mem"
+	"nemesis/internal/netswap"
 	"nemesis/internal/sim"
 	"nemesis/internal/stretchdrv"
 	"nemesis/internal/trace"
@@ -49,6 +50,16 @@ type PagerConfig struct {
 	// ClusterSize caps how many dirty pages one eviction cleans in a
 	// single batch (<= 1 disables write clustering).
 	ClusterSize int
+	// Backing selects where the pager cleans to: the local swap file
+	// (default), the remote swap server, or the tiered composition.
+	Backing core.BackingKind
+	// Remote overrides the netswap fabric's default RPC options for this
+	// pager's client (nil = fabric defaults; only used with a remote or
+	// tiered backing).
+	Remote *netswap.RemoteOptions
+	// Tiered overrides the fabric's default tiering options (nil =
+	// fabric defaults; only used with a tiered backing).
+	Tiered *netswap.TieredOptions
 	// SkipInit skips the initialisation passes (demand-zero read and
 	// dirtying write) — used by ablations that only need steady traffic.
 	SkipInit bool
@@ -106,6 +117,9 @@ func StartPager(sys *core.System, cfg PagerConfig, series *trace.Series) (*Pager
 		Policy:      cfg.Policy,
 		Writeback:   wb,
 		ClusterSize: cfg.ClusterSize,
+		Backing:     cfg.Backing,
+		Remote:      cfg.Remote,
+		Tiered:      cfg.Tiered,
 	})
 	if err != nil {
 		return nil, err
