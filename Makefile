@@ -1,0 +1,34 @@
+GO ?= go
+BENCHFLAGS ?= -run=NONE -bench=. -benchtime=1x -benchmem
+BASELINE ?= BENCH_BASELINE.json
+
+.PHONY: build test race bench bench-baseline lint suite
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	NEMESIS_SWEEP_WORKERS=8 $(GO) test -race ./...
+
+# Run every benchmark once and compare against the committed baseline.
+# Wall-clock (ns/op) and allocation deltas are informational; deterministic
+# simulated-time metrics (sim_us*) fail the run if they drift >10%.
+bench:
+	$(GO) test $(BENCHFLAGS) ./... | tee bench.out
+	$(GO) run ./cmd/benchcmp -baseline $(BASELINE) -fail-over 10 bench.out
+
+# Re-record the baseline (run on a quiet machine; commit the result).
+bench-baseline:
+	$(GO) test $(BENCHFLAGS) ./... | tee bench.out
+	$(GO) run ./cmd/benchcmp -baseline $(BASELINE) -update bench.out
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Full experiment suite through the parallel sweep runner.
+suite:
+	$(GO) run ./cmd/nemesis-paging -suite -measure 15s

@@ -36,6 +36,7 @@ func table1Rows(b *testing.B) map[string]experiments.Table1Row {
 }
 
 func benchTable1(b *testing.B, name string) {
+	b.ReportAllocs()
 	var last experiments.Table1Row
 	for i := 0; i < b.N; i++ {
 		last = table1Rows(b)[name]
@@ -68,6 +69,7 @@ func benchPagingOpts() experiments.PagingOptions {
 }
 
 func BenchmarkFig7PagingIn(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.PagingResult
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.RunPaging(benchPagingOpts())
@@ -85,6 +87,7 @@ func BenchmarkFig7PagingIn(b *testing.B) {
 }
 
 func BenchmarkFig8PagingOut(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.PagingResult
 	for i := 0; i < b.N; i++ {
 		opt := benchPagingOpts()
@@ -113,6 +116,7 @@ func BenchmarkFig8PagingOut(b *testing.B) {
 }
 
 func BenchmarkFig9Isolation(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.Fig9Result
 	for i := 0; i < b.N; i++ {
 		opt := experiments.DefaultFig9Options()
@@ -129,6 +133,7 @@ func BenchmarkFig9Isolation(b *testing.B) {
 }
 
 func BenchmarkAblationLaxity(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.LaxityResult
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationLaxity(8 * time.Second)
@@ -143,6 +148,7 @@ func BenchmarkAblationLaxity(b *testing.B) {
 }
 
 func BenchmarkAblationFCFS(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.FCFSResult
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationFCFS(8 * time.Second)
@@ -156,6 +162,7 @@ func BenchmarkAblationFCFS(b *testing.B) {
 }
 
 func BenchmarkAblationCrosstalk(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.CrosstalkResult
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationCrosstalk(8 * time.Second)
@@ -169,6 +176,7 @@ func BenchmarkAblationCrosstalk(b *testing.B) {
 }
 
 func BenchmarkAblationSlack(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.SlackResult
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationSlack(8 * time.Second)
@@ -182,6 +190,7 @@ func BenchmarkAblationSlack(b *testing.B) {
 }
 
 func BenchmarkAblationRevocation(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.RevocationResult
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.AblationRevocation()
@@ -195,6 +204,7 @@ func BenchmarkAblationRevocation(b *testing.B) {
 }
 
 func BenchmarkExtensionPipelineDepth(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.DepthResult
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.ExtensionPipelineDepth([]int{1, 8}, 8*time.Second)
@@ -208,6 +218,7 @@ func BenchmarkExtensionPipelineDepth(b *testing.B) {
 }
 
 func BenchmarkExtensionSecondChance(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.EvictionResult
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.ExtensionSecondChance(8 * time.Second)
@@ -221,6 +232,7 @@ func BenchmarkExtensionSecondChance(b *testing.B) {
 }
 
 func BenchmarkExtensionGuardedPT(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.GPTResult
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.ExtensionGuardedPT()
@@ -235,6 +247,7 @@ func BenchmarkExtensionGuardedPT(b *testing.B) {
 }
 
 func BenchmarkExtensionStreamPaging(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.StreamPagingResult
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.ExtensionStreamPaging(8 * time.Second)
@@ -249,6 +262,7 @@ func BenchmarkExtensionStreamPaging(b *testing.B) {
 }
 
 func BenchmarkExtensionRebalance(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.RebalanceResult
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.ExtensionRebalance(10 * time.Second)
@@ -263,6 +277,7 @@ func BenchmarkExtensionRebalance(b *testing.B) {
 }
 
 func BenchmarkMotivationMJPEG(b *testing.B) {
+	b.ReportAllocs()
 	var last *experiments.MotivationResult
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.MotivationMJPEG(10 * time.Second)

@@ -1,0 +1,204 @@
+// Command benchcmp compares `go test -bench` output against a committed
+// baseline (BENCH_BASELINE.json), in the spirit of benchstat but with no
+// external dependencies and a gate suited to a deterministic simulator:
+//
+//   - Metrics whose unit matches -gate (default "sim_us") are simulated-time
+//     results. They are deterministic — any drift beyond -fail-over percent
+//     means the simulation's behaviour changed, and the comparison fails.
+//   - Wall-clock results (ns/op) and allocation counts (B/op, allocs/op)
+//     are reported informationally; they vary with hardware and load, so
+//     they never fail the comparison by default. Use -fail-allocs to also
+//     gate allocs/op, which is deterministic for a fixed workload.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchtime=1x -benchmem ./... | \
+//	    go run ./cmd/benchcmp -baseline BENCH_BASELINE.json -fail-over 10
+//	go test ... | go run ./cmd/benchcmp -baseline BENCH_BASELINE.json -update
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the committed file format.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note       string            `json:"note"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBench parses `go test -bench` output into per-benchmark results.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		res := Result{Metrics: map[string]float64{}}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchcmp: bad value %q on %q", fields[i], sc.Text())
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesPerOp = val
+			case "allocs/op":
+				res.AllocsPerOp = val
+			default:
+				res.Metrics[unit] = val
+			}
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		out[m[1]] = res
+	}
+	return out, sc.Err()
+}
+
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (new - old) / old * 100
+}
+
+func main() {
+	log.SetFlags(0)
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against")
+	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+	failOver := flag.Float64("fail-over", 10, "fail when a gated metric drifts more than this percent")
+	gate := flag.String("gate", "sim_us", "regexp: metric units to gate (deterministic simulated-time results)")
+	failAllocs := flag.Bool("fail-allocs", false, "also gate allocs/op increases beyond -fail-over percent")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatalf("benchcmp: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBench(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(current) == 0 {
+		log.Fatal("benchcmp: no benchmark results in input")
+	}
+
+	if *update {
+		b := Baseline{
+			Note:       "Regenerate with: make bench-baseline (parses `go test -bench` output via cmd/benchcmp -update).",
+			Benchmarks: current,
+		}
+		buf, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("benchcmp: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		log.Fatalf("benchcmp: %v (run with -update to create the baseline)", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		log.Fatalf("benchcmp: %s: %v", *baselinePath, err)
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		log.Fatalf("benchcmp: bad -gate: %v", err)
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	fmt.Printf("%-36s %14s %14s %14s\n", "benchmark", "ns/op Δ%", "allocs/op Δ%", "gated")
+	for _, name := range names {
+		old := base.Benchmarks[name]
+		cur, ok := current[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from input", name))
+			continue
+		}
+		gated := "-"
+		units := make([]string, 0, len(old.Metrics))
+		for unit := range old.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			if !gateRe.MatchString(unit) {
+				continue
+			}
+			d := pctDelta(old.Metrics[unit], cur.Metrics[unit])
+			gated = fmt.Sprintf("%s %+.1f%%", unit, d)
+			if d > *failOver || d < -*failOver {
+				failures = append(failures, fmt.Sprintf("%s: %s drifted %+.1f%% (%.4g -> %.4g); deterministic sim metric, behaviour changed",
+					name, unit, d, old.Metrics[unit], cur.Metrics[unit]))
+			}
+		}
+		allocD := pctDelta(old.AllocsPerOp, cur.AllocsPerOp)
+		if *failAllocs && allocD > *failOver {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op grew %+.1f%% (%.0f -> %.0f)",
+				name, allocD, old.AllocsPerOp, cur.AllocsPerOp))
+		}
+		fmt.Printf("%-36s %+13.1f%% %+13.1f%% %14s\n", name, pctDelta(old.NsPerOp, cur.NsPerOp), allocD, gated)
+	}
+	for name := range current {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("# new benchmark (not in baseline): %s\n", name)
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Println()
+		for _, f := range failures {
+			fmt.Println("FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchcmp: ok")
+}

@@ -10,6 +10,11 @@
 //	         run the netswap experiments (remote paging over a simulated
 //	         network: latency/loss sweep, outage isolation, tiered
 //	         degradation)
+//	-suite   run the full suite (Table 1, Figs. 7–9, ablations, extensions,
+//	         netswap) as independent cells fanned across -workers goroutines;
+//	         output order and content are identical at any worker count
+//	-cpuprofile/-memprofile
+//	         write pprof profiles for performance work
 //
 // The top halves of Figs. 7/8 (sustained bandwidth series) print as TSV;
 // summary ratios follow. Use nemesis-trace for the bottom halves.
@@ -20,10 +25,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
 	"nemesis/internal/experiments"
+	"nemesis/internal/experiments/sweep"
 )
 
 func main() {
@@ -34,8 +42,41 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	metrics := flag.Bool("metrics", false, "enable fault-path telemetry and append span/metric summaries (figs 7/8)")
 	e8 := flag.String("e8", "", "netswap experiment: sweep, outage, degrade, or all")
+	suite := flag.Bool("suite", false, "run the full experiment suite as parallel deterministic cells")
+	workers := flag.Int("workers", 0, "sweep fan-out width (0 = NEMESIS_SWEEP_WORKERS or GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("nemesis-paging: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("nemesis-paging: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatalf("nemesis-paging: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("nemesis-paging: %v", err)
+			}
+		}()
+	}
+
+	if *suite {
+		runSuite(*measure, *workers)
+		return
+	}
 	if *ext {
 		runExtensions(*measure)
 		return
@@ -109,6 +150,23 @@ func main() {
 	default:
 		log.Fatalf("nemesis-paging: unknown figure %d", *fig)
 	}
+}
+
+// runSuite fans the whole experiment suite across sweep workers and prints
+// each cell's summary in fixed suite order.
+func runSuite(measure time.Duration, workers int) {
+	if workers <= 0 {
+		workers = sweep.Workers()
+	}
+	start := time.Now()
+	cells, err := experiments.RunSuite(measure, workers)
+	if err != nil {
+		log.Fatalf("nemesis-paging: %v", err)
+	}
+	for _, c := range cells {
+		fmt.Printf("# %s\n%s", c.Name, c.Output)
+	}
+	fmt.Printf("# suite: %d cells, %d workers, %.2fs wall\n", len(cells), workers, time.Since(start).Seconds())
 }
 
 func runAblations(measure time.Duration) {

@@ -33,6 +33,10 @@ type ExternalPager struct {
 	queue []*pageReq
 	wake  *sim.Cond
 
+	// Reusable transfer requests: handle runs serially on the pager
+	// thread and Do is synchronous, so one of each suffices.
+	wreq, rreq *usd.Request
+
 	// ServiceCost is the pager's per-request CPU cost.
 	ServiceCost time.Duration
 	// Stats
@@ -188,9 +192,12 @@ func (ep *ExternalPager) handle(t *domain.Thread, f *vm.Fault) bool {
 				}
 				victim.blok = b
 			}
-			buf := make([]byte, vm.PageSize)
-			copy(buf, sys.Store.Frame(vpfn))
-			r := &usd.Request{Op: disk.Write, Block: ep.base + ep.blok.BlockOffset(victim.blok), Count: int(ep.blok.BlokBlocks()), Data: buf}
+			if ep.wreq == nil {
+				ep.wreq = &usd.Request{Op: disk.Write, Count: int(ep.blok.BlokBlocks()), Data: make([]byte, vm.PageSize)}
+			}
+			r := ep.wreq
+			r.Block, r.Err = ep.base+ep.blok.BlockOffset(victim.blok), nil
+			copy(r.Data, sys.Store.Frame(vpfn))
 			if _, err := ep.ch.Do(t.Proc(), r); err != nil {
 				return false
 			}
@@ -202,7 +209,11 @@ func (ep *ExternalPager) handle(t *domain.Thread, f *vm.Fault) bool {
 	}
 
 	if pg.onDisk {
-		r := &usd.Request{Op: disk.Read, Block: ep.base + ep.blok.BlockOffset(pg.blok), Count: int(ep.blok.BlokBlocks())}
+		if ep.rreq == nil {
+			ep.rreq = &usd.Request{Op: disk.Read, Count: int(ep.blok.BlokBlocks())}
+		}
+		r := ep.rreq
+		r.Block, r.Err = ep.base+ep.blok.BlockOffset(pg.blok), nil
 		done, err := ep.ch.Do(t.Proc(), r)
 		if err != nil {
 			return false

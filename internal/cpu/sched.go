@@ -21,6 +21,12 @@ type Scheduler struct {
 	waiters map[string]*waiter
 	order   []string
 	timer   sim.Timer
+
+	// Pre-bound callbacks: schedule/acquire/release run on every quantum of
+	// every computing domain, and method values or closures created at the
+	// call site would allocate each time.
+	scheduleFn  func()
+	hasWaiterFn func(ac *atropos.Client) bool
 }
 
 type waiter struct {
@@ -33,16 +39,20 @@ type DomainCPU struct {
 	s    *Scheduler
 	ac   *atropos.Client
 	name string
+	w    *waiter // pre-resolved, avoids a map lookup per quantum
 }
 
 // NewScheduler creates a CPU scheduler on s.
 func NewScheduler(s *sim.Simulator) *Scheduler {
-	return &Scheduler{
+	sc := &Scheduler{
 		sim:     s,
 		core:    atropos.NewCore(1.0),
 		Costs:   DefaultCosts(),
 		waiters: make(map[string]*waiter),
 	}
+	sc.scheduleFn = sc.schedule
+	sc.hasWaiterFn = sc.hasWaiter
+	return sc
 }
 
 // Admit registers a domain with CPU contract q.
@@ -51,9 +61,10 @@ func (s *Scheduler) Admit(name string, q atropos.QoS) (*DomainCPU, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.waiters[name] = &waiter{cond: sim.NewCond(s.sim)}
+	w := &waiter{cond: sim.NewCond(s.sim)}
+	s.waiters[name] = w
 	s.order = append(s.order, name)
-	return &DomainCPU{s: s, ac: ac, name: name}, nil
+	return &DomainCPU{s: s, ac: ac, name: name, w: w}, nil
 }
 
 // Remove deregisters a domain.
@@ -93,10 +104,10 @@ func (s *Scheduler) schedule() {
 		return
 	}
 	s.core.Refresh(s.sim.Now())
-	pick := s.core.PickEDFWith(s.hasWaiter)
+	pick := s.core.PickEDFWith(s.hasWaiterFn)
 	if pick == nil {
 		// Slack: hand idle CPU to any x=true waiter round-robin.
-		pick = s.core.PickSlack(func(ac *atropos.Client) bool { return s.hasWaiter(ac) })
+		pick = s.core.PickSlack(s.hasWaiterFn)
 	}
 	if pick == nil {
 		// Nothing runnable now; if threads are waiting on exhausted
@@ -111,7 +122,7 @@ func (s *Scheduler) schedule() {
 		if anyWaiting {
 			if b, ok := s.core.NextBoundary(); ok {
 				s.timer.Stop()
-				s.timer = s.sim.At(b, s.schedule)
+				s.timer = s.sim.At(b, s.scheduleFn)
 			}
 		}
 		return
@@ -122,9 +133,9 @@ func (s *Scheduler) schedule() {
 
 // acquire blocks p until the CPU is granted to domain d.
 func (s *Scheduler) acquire(p *sim.Proc, d *DomainCPU) {
-	w := s.waiters[d.name]
+	w := d.w
 	w.pending++
-	s.sim.At(s.sim.Now(), s.schedule)
+	s.sim.At(s.sim.Now(), s.scheduleFn)
 	w.cond.Wait(p)
 	w.pending--
 }
@@ -133,7 +144,7 @@ func (s *Scheduler) acquire(p *sim.Proc, d *DomainCPU) {
 func (s *Scheduler) release(d *DomainCPU, used time.Duration) {
 	s.core.Charge(d.ac, used)
 	s.busy = false
-	s.sim.At(s.sim.Now(), s.schedule)
+	s.sim.At(s.sim.Now(), s.scheduleFn)
 }
 
 // quantum bounds a single uninterrupted hold of the CPU, so a long

@@ -163,9 +163,13 @@ type Stats struct {
 // context (an event callback or a process); the USD serialises access, which
 // matches a single-spindle device.
 type Disk struct {
-	Geom  Geometry
-	sim   *sim.Simulator
-	data  map[int64][]byte // block -> BlockSize bytes; absent = zeros
+	Geom Geometry
+	sim  *sim.Simulator
+	// data is a two-level block store: chunk index -> chunkBlocks*BlockSize
+	// bytes, allocated on first write. A nil chunk reads as zeros. Indexing
+	// is two array derefs instead of a per-block map hash, and contiguous
+	// chunks let multi-block transfers copy in one run.
+	data  [][]byte
 	segs  []segment
 	tick  uint64
 	head  int64 // current cylinder
@@ -187,9 +191,16 @@ func (d *Disk) SetObs(r *obs.Registry) {
 	d.cCacheHits = r.Counter("disk", "cache_hits", "")
 }
 
+// chunkShift sizes the block-store chunks: 512 blocks (256 KB) each.
+const (
+	chunkShift  = 9
+	chunkBlocks = 1 << chunkShift
+)
+
 // New returns a drive with the given geometry attached to s.
 func New(s *sim.Simulator, g Geometry) *Disk {
-	return &Disk{Geom: g, sim: s, data: make(map[int64][]byte)}
+	nChunks := (g.TotalBlocks + chunkBlocks - 1) >> chunkShift
+	return &Disk{Geom: g, sim: s, data: make([][]byte, nChunks)}
 }
 
 // Stats returns a copy of the accumulated counters.
@@ -332,15 +343,20 @@ func (d *Disk) ReadAt(p *sim.Proc, block int64, count int, buf []byte) error {
 	d.stats.BlocksRead += int64(count)
 	d.hRead.Observe(dur)
 	p.Sleep(dur)
-	for i := 0; i < count; i++ {
-		dst := buf[i*BlockSize : (i+1)*BlockSize]
-		if src, ok := d.data[block+int64(i)]; ok {
-			copy(dst, src)
-		} else {
-			for j := range dst {
-				dst[j] = 0
-			}
+	for i := 0; i < count; {
+		b := block + int64(i)
+		off := int(b & (chunkBlocks - 1))
+		run := chunkBlocks - off
+		if rem := count - i; run > rem {
+			run = rem
 		}
+		dst := buf[i*BlockSize : (i+run)*BlockSize]
+		if c := d.data[b>>chunkShift]; c != nil {
+			copy(dst, c[off*BlockSize:])
+		} else {
+			clear(dst)
+		}
+		i += run
 	}
 	return nil
 }
@@ -359,10 +375,20 @@ func (d *Disk) WriteAt(p *sim.Proc, block int64, count int, buf []byte) error {
 	d.stats.BlocksWritten += int64(count)
 	d.hWrite.Observe(dur)
 	p.Sleep(dur)
-	for i := 0; i < count; i++ {
-		b := make([]byte, BlockSize)
-		copy(b, buf[i*BlockSize:(i+1)*BlockSize])
-		d.data[block+int64(i)] = b
+	for i := 0; i < count; {
+		b := block + int64(i)
+		off := int(b & (chunkBlocks - 1))
+		run := chunkBlocks - off
+		if rem := count - i; run > rem {
+			run = rem
+		}
+		c := d.data[b>>chunkShift]
+		if c == nil {
+			c = make([]byte, chunkBlocks*BlockSize)
+			d.data[b>>chunkShift] = c
+		}
+		copy(c[off*BlockSize:], buf[i*BlockSize:(i+run)*BlockSize])
+		i += run
 	}
 	return nil
 }
@@ -371,8 +397,8 @@ func (d *Disk) WriteAt(p *sim.Proc, block int64, count int, buf []byte) error {
 // time. Unwritten blocks read as zeros. Intended for tests and tools.
 func (d *Disk) PeekBlock(block int64) []byte {
 	out := make([]byte, BlockSize)
-	if b, ok := d.data[block]; ok {
-		copy(out, b)
+	if c := d.data[block>>chunkShift]; c != nil {
+		copy(out, c[(block&(chunkBlocks-1))*BlockSize:])
 	}
 	return out
 }

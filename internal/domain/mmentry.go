@@ -23,6 +23,8 @@ type job struct {
 type MMEntry struct {
 	dom     *Domain
 	queue   []*job
+	qhead   int
+	free    []*job // recycled jobs (each keeps its done Cond)
 	wake    *sim.Cond
 	worker  *sim.Proc
 	stopped bool
@@ -41,25 +43,54 @@ func newMMEntry(d *Domain) *MMEntry {
 }
 
 // QueueLen returns the number of outstanding jobs (for tests).
-func (mm *MMEntry) QueueLen() int { return len(mm.queue) }
+func (mm *MMEntry) QueueLen() int { return len(mm.queue) - mm.qhead }
+
+// getJob checks a job out of the free list. The done Cond is created once
+// per job and survives recycling; every other field is reset.
+func (mm *MMEntry) getJob() *job {
+	if n := len(mm.free); n > 0 {
+		j := mm.free[n-1]
+		mm.free[n-1] = nil
+		mm.free = mm.free[:n-1]
+		j.fault, j.k, j.ok, j.isDone = nil, 0, false, false
+		return j
+	}
+	return &job{done: sim.NewCond(mm.dom.env.Sim)}
+}
+
+// putJob recycles a finished job. Fault jobs are returned by the resolver
+// (which reads the result last); revocation jobs by the worker.
+func (mm *MMEntry) putJob(j *job) { mm.free = append(mm.free, j) }
+
+// enqueue appends a job, compacting consumed head space when drained.
+func (mm *MMEntry) enqueue(j *job) {
+	if mm.qhead > 0 && mm.qhead == len(mm.queue) {
+		mm.queue = mm.queue[:0]
+		mm.qhead = 0
+	}
+	mm.queue = append(mm.queue, j)
+	mm.gQueue.Set(int64(mm.QueueLen()))
+	mm.wake.Signal()
+}
 
 // resolve blocks p until a worker has processed fault f, reporting success.
 func (mm *MMEntry) resolve(p *sim.Proc, f *vm.Fault) bool {
-	j := &job{fault: f, done: sim.NewCond(mm.dom.env.Sim)}
-	mm.queue = append(mm.queue, j)
-	mm.gQueue.Set(int64(len(mm.queue)))
-	mm.wake.Signal()
+	j := mm.getJob()
+	j.fault = f
+	mm.enqueue(j)
 	for !j.isDone {
 		j.done.Wait(p)
 	}
-	return j.ok
+	ok := j.ok
+	mm.putJob(j)
+	return ok
 }
 
 // enqueueRevocation queues an asynchronous revocation job.
 func (mm *MMEntry) enqueueRevocation(k int) {
-	mm.queue = append(mm.queue, &job{k: k})
-	mm.gQueue.Set(int64(len(mm.queue)))
-	mm.wake.Signal()
+	j := mm.getJob()
+	j.k = k
+	mm.enqueue(j)
 }
 
 // kill stops the worker.
@@ -69,13 +100,13 @@ func (mm *MMEntry) kill() {
 		mm.worker.Kill()
 	}
 	// Fail outstanding jobs so blocked threads unwind via their own kill.
-	for _, j := range mm.queue {
+	for _, j := range mm.queue[mm.qhead:] {
 		j.isDone = true
 		if j.done != nil {
 			j.done.Broadcast()
 		}
 	}
-	mm.queue = nil
+	mm.queue, mm.qhead = nil, 0
 }
 
 // run is the worker thread: it pops jobs and invokes stretch drivers with
@@ -83,13 +114,14 @@ func (mm *MMEntry) kill() {
 func (mm *MMEntry) run(p *sim.Proc) {
 	d := mm.dom
 	for !mm.stopped {
-		if len(mm.queue) == 0 {
+		if mm.QueueLen() == 0 {
 			mm.wake.Wait(p)
 			continue
 		}
-		j := mm.queue[0]
-		mm.queue = mm.queue[1:]
-		mm.gQueue.Set(int64(len(mm.queue)))
+		j := mm.queue[mm.qhead]
+		mm.queue[mm.qhead] = nil
+		mm.qhead++
+		mm.gQueue.Set(int64(mm.QueueLen()))
 
 		// The worker runs on the domain's own CPU guarantee.
 		d.cpu.Compute(p, d.env.Costs.IDCRoundTrip)
@@ -119,6 +151,7 @@ func (mm *MMEntry) run(p *sim.Proc) {
 		// Cleaning dirty pages takes time; the Relinquish calls above
 		// block as required. Completion hands the frames back.
 		d.memc.RevocationComplete()
+		mm.putJob(j)
 	}
 }
 

@@ -16,6 +16,10 @@ type Thread struct {
 	name string
 	proc *sim.Proc
 	done *sim.Cond
+	// fbuf is the thread's reusable fault record. Fault dispatch is
+	// synchronous (the thread blocks until resolution) and nothing retains
+	// the record past the next fault, so one per thread suffices.
+	fbuf vm.Fault
 }
 
 // Name returns the thread name.
@@ -52,11 +56,11 @@ func (t *Thread) access(va vm.VA, acc vm.Access) (*vm.PTE, error) {
 		if t.dom.killed {
 			return nil, ErrKilled
 		}
-		pte, f := t.dom.env.TS.Access(t.dom.pd, va, acc)
-		if f == nil {
+		pte, faulted := t.dom.env.TS.AccessInto(t.dom.pd, va, acc, &t.fbuf)
+		if !faulted {
 			return pte, nil
 		}
-		if err := t.dom.dispatchFault(t, f); err != nil {
+		if err := t.dom.dispatchFault(t, &t.fbuf); err != nil {
 			return nil, err
 		}
 	}

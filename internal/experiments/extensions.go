@@ -7,6 +7,7 @@ import (
 	"nemesis/internal/atropos"
 	"nemesis/internal/core"
 	"nemesis/internal/domain"
+	"nemesis/internal/experiments/sweep"
 	"nemesis/internal/mem"
 	"nemesis/internal/stretchdrv"
 	"nemesis/internal/trace"
@@ -246,62 +247,65 @@ type EvictionResult struct {
 // re-referenced between every cold access, so reference-aware policies
 // (second chance, clock) keep it resident while FIFO keeps evicting it.
 func ExtensionEvictionPolicies(measure time.Duration, kinds []stretchdrv.PolicyKind) ([]PolicyComparison, error) {
-	out := make([]PolicyComparison, 0, len(kinds))
-	for _, kind := range kinds {
-		cfg := core.DefaultConfig()
-		cfg.MemoryFrames = 512
-		sys := core.New(cfg)
-		dom, err := sys.NewDomain("app",
-			atropos.QoS{P: 100 * time.Millisecond, S: 20 * time.Millisecond, X: true},
-			mem.Contract{Guaranteed: 6})
-		if err != nil {
-			return nil, err
-		}
-		st, gdrv, err := sys.NewStretch(dom, core.PagerSpec{
-			Kind:      core.KindPaged,
-			Size:      16 * vm.PageSize,
-			SwapBytes: 64 * vm.PageSize,
-			DiskQoS:   atropos.QoS{P: 250 * time.Millisecond, S: 200 * time.Millisecond, X: true, L: 10 * time.Millisecond},
-			Policy:    kind,
-		})
-		if err != nil {
-			return nil, err
-		}
-		drv := gdrv.(*stretchdrv.Paged)
-		dom.Go("main", func(t *domain.Thread) {
-			core.PreallocateFrames(t, 6)
-			// A 3-page hot set re-touched (several times) between every
-			// cold access, plus a 13-page cold stream, over 6 frames.
-			// FIFO evicts hot pages as they age; second chance sees their
-			// referenced bits refreshed between evictions and spares
-			// them. (The re-touches between consecutive evictions are
-			// what distinguish the policies: under total thrash CLOCK
-			// degenerates to FIFO.)
-			for {
-				for pg := 3; pg < 16; pg++ {
-					if err := t.Touch(st.PageBase(pg), vm.PageSize, vm.AccessRead); err != nil {
-						return
-					}
-					for rep := 0; rep < 3; rep++ {
-						for h := 0; h < 3; h++ {
-							if err := t.Touch(st.PageBase(h), vm.PageSize, vm.AccessRead); err != nil {
-								return
-							}
+	return sweep.Map(kinds, func(kind stretchdrv.PolicyKind) (PolicyComparison, error) {
+		return evictionPolicyCell(measure, kind)
+	})
+}
+
+// evictionPolicyCell is one policy's independent run.
+func evictionPolicyCell(measure time.Duration, kind stretchdrv.PolicyKind) (PolicyComparison, error) {
+	cfg := core.DefaultConfig()
+	cfg.MemoryFrames = 512
+	sys := core.New(cfg)
+	dom, err := sys.NewDomain("app",
+		atropos.QoS{P: 100 * time.Millisecond, S: 20 * time.Millisecond, X: true},
+		mem.Contract{Guaranteed: 6})
+	if err != nil {
+		return PolicyComparison{}, err
+	}
+	st, gdrv, err := sys.NewStretch(dom, core.PagerSpec{
+		Kind:      core.KindPaged,
+		Size:      16 * vm.PageSize,
+		SwapBytes: 64 * vm.PageSize,
+		DiskQoS:   atropos.QoS{P: 250 * time.Millisecond, S: 200 * time.Millisecond, X: true, L: 10 * time.Millisecond},
+		Policy:    kind,
+	})
+	if err != nil {
+		return PolicyComparison{}, err
+	}
+	drv := gdrv.(*stretchdrv.Paged)
+	dom.Go("main", func(t *domain.Thread) {
+		core.PreallocateFrames(t, 6)
+		// A 3-page hot set re-touched (several times) between every
+		// cold access, plus a 13-page cold stream, over 6 frames.
+		// FIFO evicts hot pages as they age; second chance sees their
+		// referenced bits refreshed between evictions and spares
+		// them. (The re-touches between consecutive evictions are
+		// what distinguish the policies: under total thrash CLOCK
+		// degenerates to FIFO.)
+		for {
+			for pg := 3; pg < 16; pg++ {
+				if err := t.Touch(st.PageBase(pg), vm.PageSize, vm.AccessRead); err != nil {
+					return
+				}
+				for rep := 0; rep < 3; rep++ {
+					for h := 0; h < 3; h++ {
+						if err := t.Touch(st.PageBase(h), vm.PageSize, vm.AccessRead); err != nil {
+							return
 						}
 					}
 				}
 			}
-		})
-		sys.Run(measure)
-		sys.Shutdown()
-		pc := PolicyComparison{Policy: kind, Spares: drv.Stats.Spares}
-		if mb := float64(dom.Stats().BytesTouched) / (1 << 20); mb > 0 {
-			pc.PageInsPerMB = float64(drv.Stats.PageIns) / mb
-			pc.Mbps = mb * 8 / measure.Seconds()
 		}
-		out = append(out, pc)
+	})
+	sys.Run(measure)
+	sys.Shutdown()
+	pc := PolicyComparison{Policy: kind, Spares: drv.Stats.Spares}
+	if mb := float64(dom.Stats().BytesTouched) / (1 << 20); mb > 0 {
+		pc.PageInsPerMB = float64(drv.Stats.PageIns) / mb
+		pc.Mbps = mb * 8 / measure.Seconds()
 	}
-	return out, nil
+	return pc, nil
 }
 
 // ExtensionSecondChance runs the FIFO vs second-chance pair of the policy
@@ -339,58 +343,78 @@ type ClusteringResult struct {
 // forgetful writer (never pages in, every eviction must clean) over a small
 // frame grant, at each cluster size.
 func ExtensionWriteClustering(measure time.Duration, sizes []int) (*ClusteringResult, error) {
+	cells, err := sweep.Map(sizes, func(size int) (clusteringCell, error) {
+		return writeClusteringCell(measure, size)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ClusteringResult{Sizes: sizes}
+	for _, c := range cells {
+		res.PageOuts = append(res.PageOuts, c.pageOuts)
+		res.WriteTxns = append(res.WriteTxns, c.writeTxns)
+		res.TxnsPerPageOut = append(res.TxnsPerPageOut, c.ratio)
+		res.Mbps = append(res.Mbps, c.mbps)
+	}
+	return res, nil
+}
+
+// clusteringCell is one cluster size's measurements.
+type clusteringCell struct {
+	pageOuts, writeTxns int64
+	ratio, mbps         float64
+}
+
+func writeClusteringCell(measure time.Duration, size int) (clusteringCell, error) {
 	const (
 		frames = 8
 		pages  = 64
 	)
-	res := &ClusteringResult{Sizes: sizes}
-	for _, size := range sizes {
-		cfg := core.DefaultConfig()
-		cfg.MemoryFrames = 512
-		sys := core.New(cfg)
-		dom, err := sys.NewDomain("writer",
-			atropos.QoS{P: 100 * time.Millisecond, S: 20 * time.Millisecond, X: true},
-			mem.Contract{Guaranteed: frames})
-		if err != nil {
-			return nil, err
-		}
-		st, gdrv, err := sys.NewStretch(dom, core.PagerSpec{
-			Kind:        core.KindPaged,
-			Size:        pages * vm.PageSize,
-			SwapBytes:   4 * pages * vm.PageSize,
-			DiskQoS:     atropos.QoS{P: 250 * time.Millisecond, S: 200 * time.Millisecond, X: true, L: 10 * time.Millisecond},
-			Writeback:   stretchdrv.WritebackForgetful,
-			ClusterSize: size,
-		})
-		if err != nil {
-			return nil, err
-		}
-		drv := gdrv.(*stretchdrv.Paged)
-		var bytes int64
-		dom.Go("main", func(t *domain.Thread) {
-			core.PreallocateFrames(t, frames)
-			for {
-				for pg := 0; pg < pages; pg++ {
-					if err := t.Touch(st.PageBase(pg), vm.PageSize, vm.AccessWrite); err != nil {
-						return
-					}
-					bytes += int64(vm.PageSize)
-				}
-			}
-		})
-		sys.Run(measure)
-		sys.Shutdown()
-		s := drv.Stats
-		res.PageOuts = append(res.PageOuts, s.CleanedPages)
-		res.WriteTxns = append(res.WriteTxns, s.CleanTxns)
-		ratio := 0.0
-		if s.CleanedPages > 0 {
-			ratio = float64(s.CleanTxns) / float64(s.CleanedPages)
-		}
-		res.TxnsPerPageOut = append(res.TxnsPerPageOut, ratio)
-		res.Mbps = append(res.Mbps, float64(bytes)*8/1e6/measure.Seconds())
+	cfg := core.DefaultConfig()
+	cfg.MemoryFrames = 512
+	sys := core.New(cfg)
+	dom, err := sys.NewDomain("writer",
+		atropos.QoS{P: 100 * time.Millisecond, S: 20 * time.Millisecond, X: true},
+		mem.Contract{Guaranteed: frames})
+	if err != nil {
+		return clusteringCell{}, err
 	}
-	return res, nil
+	st, gdrv, err := sys.NewStretch(dom, core.PagerSpec{
+		Kind:        core.KindPaged,
+		Size:        pages * vm.PageSize,
+		SwapBytes:   4 * pages * vm.PageSize,
+		DiskQoS:     atropos.QoS{P: 250 * time.Millisecond, S: 200 * time.Millisecond, X: true, L: 10 * time.Millisecond},
+		Writeback:   stretchdrv.WritebackForgetful,
+		ClusterSize: size,
+	})
+	if err != nil {
+		return clusteringCell{}, err
+	}
+	drv := gdrv.(*stretchdrv.Paged)
+	var bytes int64
+	dom.Go("main", func(t *domain.Thread) {
+		core.PreallocateFrames(t, frames)
+		for {
+			for pg := 0; pg < pages; pg++ {
+				if err := t.Touch(st.PageBase(pg), vm.PageSize, vm.AccessWrite); err != nil {
+					return
+				}
+				bytes += int64(vm.PageSize)
+			}
+		}
+	})
+	sys.Run(measure)
+	sys.Shutdown()
+	s := drv.Stats
+	cell := clusteringCell{
+		pageOuts:  s.CleanedPages,
+		writeTxns: s.CleanTxns,
+		mbps:      float64(bytes) * 8 / 1e6 / measure.Seconds(),
+	}
+	if s.CleanedPages > 0 {
+		cell.ratio = float64(s.CleanTxns) / float64(s.CleanedPages)
+	}
+	return cell, nil
 }
 
 // RebalanceResult measures the centralised global-performance policy

@@ -96,13 +96,23 @@ func runMJPEG(measure time.Duration, qos bool) (missRate, jitterMs float64, fram
 		next := video.Start
 		start := t.Now()
 		frame := 0
+		var free []*usd.Request
 		for {
 			slotStart := start.Add(time.Duration(frame) * framePeriod)
 			deadline := slotStart.Add(framePeriod)
 			t.Proc().SleepUntil(slotStart)
-			// Fetch the frame: 8 page-sized reads, pipelined.
+			// Fetch the frame: 8 page-sized reads, pipelined. Requests (and
+			// their read buffers) are recycled across frames.
 			for i := 0; i < framePages; i++ {
-				if err := ch.Submit(t.Proc(), &usd.Request{Op: disk.Read, Block: next, Count: pageBlocks}); err != nil {
+				var req *usd.Request
+				if n := len(free); n > 0 {
+					req = free[n-1]
+					free = free[:n-1]
+					req.Block, req.Err = next, nil
+				} else {
+					req = &usd.Request{Op: disk.Read, Block: next, Count: pageBlocks}
+				}
+				if err := ch.Submit(t.Proc(), req); err != nil {
 					return
 				}
 				next += int64(pageBlocks)
@@ -111,9 +121,11 @@ func runMJPEG(measure time.Duration, qos bool) (missRate, jitterMs float64, fram
 				}
 			}
 			for i := 0; i < framePages; i++ {
-				if _, err := ch.Await(t.Proc()); err != nil {
+				done, err := ch.Await(t.Proc())
+				if err != nil {
 					return
 				}
+				free = append(free, done)
 			}
 			t.Compute(decodeTime)
 			done := t.Now()
@@ -161,10 +173,19 @@ func runMJPEG(measure time.Duration, qos bool) (missRate, jitterMs float64, fram
 		pageBlocks := int(vm.PageSize / disk.BlockSize)
 		next := src.Start
 		inflight := 0
+		var free []*usd.Request
 		for {
-			// Keep 16 source reads in flight...
+			// Keep 16 source reads in flight, recycling completed requests...
 			for inflight < 16 {
-				if err := srcCh.Submit(t.Proc(), &usd.Request{Op: disk.Read, Block: next, Count: pageBlocks}); err != nil {
+				var req *usd.Request
+				if n := len(free); n > 0 {
+					req = free[n-1]
+					free = free[:n-1]
+					req.Block, req.Err = next, nil
+				} else {
+					req = &usd.Request{Op: disk.Read, Block: next, Count: pageBlocks}
+				}
+				if err := srcCh.Submit(t.Proc(), req); err != nil {
 					return
 				}
 				inflight++
@@ -173,9 +194,11 @@ func runMJPEG(measure time.Duration, qos bool) (missRate, jitterMs float64, fram
 					next = src.Start
 				}
 			}
-			if _, err := srcCh.Await(t.Proc()); err != nil {
+			done, err := srcCh.Await(t.Proc())
+			if err != nil {
 				return
 			}
+			free = append(free, done)
 			inflight--
 			// ...while paging over its working set and burning CPU.
 			if err := t.Touch(cst.Base()+vm.VA((next*31)%int64(2<<20-vm.PageSize)), 64, vm.AccessWrite); err != nil {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nemesis/internal/core"
+	"nemesis/internal/experiments/sweep"
 	"nemesis/internal/netswap"
 	"nemesis/internal/obs"
 	"nemesis/internal/workload"
@@ -33,17 +34,28 @@ type NetswapSweepResult struct {
 
 // RunNetswapSweep measures a remote-paging application across the cross
 // product of link latencies and loss probabilities, measure of simulated
-// time per cell. Every cell is an independent deterministic run.
+// time per cell. Every cell is an independent deterministic run; cells fan
+// out across sweep workers and come back in sweep order.
 func RunNetswapSweep(latencies []time.Duration, losses []float64, measure time.Duration) (*NetswapSweepResult, error) {
-	res := &NetswapSweepResult{}
+	type point struct {
+		lat  time.Duration
+		loss float64
+	}
+	var pts []point
 	for _, loss := range losses {
 		for _, lat := range latencies {
-			cell, err := runNetswapCell(lat, loss, measure)
-			if err != nil {
-				return nil, err
-			}
-			res.Cells = append(res.Cells, *cell)
+			pts = append(pts, point{lat, loss})
 		}
+	}
+	cells, err := sweep.Map(pts, func(p point) (*NetswapCell, error) {
+		return runNetswapCell(p.lat, p.loss, measure)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &NetswapSweepResult{Cells: make([]NetswapCell, 0, len(cells))}
+	for _, c := range cells {
+		res.Cells = append(res.Cells, *c)
 	}
 	return res, nil
 }

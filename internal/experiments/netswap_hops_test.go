@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nemesis/internal/core"
+	"nemesis/internal/netswap"
+	"nemesis/internal/obs"
+	"nemesis/internal/workload"
+)
+
+// TestNetswapHopBreakdownSurvivesSpanChurn is the end-to-end counterpart of
+// the obs-level span pooling tests: a real remote-paging run that finishes
+// far more fault spans than the span ring retains must still report the full
+// per-hop breakdown — the local fault-path hops and the remote hops
+// (net.out, remote.store, net.back) — and the WriteTopTable snapshot must
+// render over the same telemetry without error.
+func TestNetswapHopBreakdownSurvivesSpanChurn(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.MemoryFrames = 1024
+	cfg.Telemetry = true
+	ns := netswap.DefaultConfig()
+	ns.Link.Latency = 200 * time.Microsecond
+	cfg.NetSwap = &ns
+	sys := core.New(cfg)
+
+	pc := workload.DefaultPagerConfig("remote", 100*time.Millisecond)
+	pc.PhysFrames = 8
+	pc.VirtBytes = 2 << 20
+	pc.Backing = core.BackingRemote
+	pc.Write = true
+	pc.SkipInit = true
+	if _, err := workload.StartPager(sys, pc, nil); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(10 * time.Second)
+	defer sys.Shutdown()
+
+	if total := sys.Obs.SpanTotal(); total <= obs.DefaultSpanCap {
+		t.Fatalf("run finished only %d spans; need > %d to churn the ring", total, obs.DefaultSpanCap)
+	}
+	counts := map[string]int64{}
+	for _, h := range sys.Obs.HopSummaries() {
+		if h.Domain == "remote" && h.Class == "page" {
+			counts[h.Hop] = h.Count
+		}
+	}
+	for _, hop := range []string{"net.out", "remote.store", "net.back"} {
+		if counts[hop] == 0 {
+			t.Errorf("hop %q missing from summaries after span churn (got %v)", hop, counts)
+		}
+	}
+	// Every retained (pooled, recycled) span must still carry a contiguous
+	// multi-hop chain, not a truncated one.
+	for _, sp := range sys.Obs.Spans() {
+		if sp.Class != "page" {
+			continue
+		}
+		hops := sp.Hops()
+		if len(hops) < 2 {
+			t.Fatalf("retained page span has %d hops; per-hop breakdown truncated: %+v", len(hops), hops)
+		}
+		if sp.HopSum() != sp.Duration() {
+			t.Fatalf("retained span hop sum %v != duration %v", sp.HopSum(), sp.Duration())
+		}
+	}
+	var top strings.Builder
+	if err := sys.WriteTopTable(&top); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(top.String(), "remote") {
+		t.Fatalf("WriteTopTable missing the remote domain:\n%s", top.String())
+	}
+}

@@ -1,0 +1,87 @@
+// Package sweep fans independent experiment cells across worker goroutines
+// with deterministic, index-ordered results.
+//
+// Every cell of a parameter sweep (a netswap (latency, loss) point, one
+// replacement policy, one cluster size, one whole figure) builds its own
+// Simulator and machine, so cells share no mutable state and can run
+// concurrently. Determinism is preserved per cell — each simulation is
+// single-threaded and seeded — and the runner returns results in item
+// order regardless of completion order, so serial and parallel runs of the
+// same sweep produce identical output.
+package sweep
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable overriding the fan-out width.
+const EnvWorkers = "NEMESIS_SWEEP_WORKERS"
+
+// Workers returns the default fan-out width: NEMESIS_SWEEP_WORKERS if set
+// to a positive integer, else GOMAXPROCS.
+func Workers() int {
+	if v := os.Getenv(EnvWorkers); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn over items on up to Workers() goroutines and returns the
+// results in item order. See MapWorkers.
+func Map[I, O any](items []I, fn func(I) (O, error)) ([]O, error) {
+	return MapWorkers(Workers(), items, fn)
+}
+
+// MapWorkers runs fn over items on up to workers goroutines and returns
+// the results in item order. If any invocation fails, the error of the
+// lowest-index failing item is returned (a deterministic choice regardless
+// of goroutine scheduling) and the results are nil. workers < 1 or a
+// single-item sweep degrades to a plain serial loop on the caller's
+// goroutine.
+func MapWorkers[I, O any](workers int, items []I, fn func(I) (O, error)) ([]O, error) {
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		out := make([]O, len(items))
+		for i, it := range items {
+			o, err := fn(it)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = o
+		}
+		return out, nil
+	}
+
+	out := make([]O, len(items))
+	errs := make([]error, len(items))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				out[i], errs[i] = fn(items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	got, err := MapWorkers(8, items, func(i int) (string, error) {
+		return fmt.Sprintf("cell-%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range got {
+		if want := fmt.Sprintf("cell-%d", i); g != want {
+			t.Fatalf("result %d = %q, want %q", i, g, want)
+		}
+	}
+}
+
+func TestSerialEqualsParallel(t *testing.T) {
+	items := make([]int, 37)
+	for i := range items {
+		items[i] = i * 3
+	}
+	fn := func(i int) (int, error) { return i*i + 1, nil }
+	serial, err := MapWorkers(1, items, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 16} {
+		par, err := MapWorkers(w, items, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if serial[i] != par[i] {
+				t.Fatalf("workers=%d: result %d = %d, want %d", w, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestMapErrorIsLowestIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	// Items 3 and 6 fail; the reported error must always be item 3's,
+	// regardless of which goroutine finishes first.
+	for trial := 0; trial < 20; trial++ {
+		_, err := MapWorkers(4, items, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, errA
+			case 6:
+				return 0, errB
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("trial %d: err = %v, want %v", trial, err, errA)
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	got, err := MapWorkers(4, nil, func(i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty: got %v, %v", got, err)
+	}
+	got, err = MapWorkers(4, []int{9}, func(i int) (int, error) { return i + 1, nil })
+	if err != nil || len(got) != 1 || got[0] != 10 {
+		t.Fatalf("single: got %v, %v", got, err)
+	}
+}

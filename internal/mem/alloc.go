@@ -237,7 +237,9 @@ func (c *Client) TryAllocFrame() (PFN, error) {
 		return 0, ErrKilledByAlloc
 	}
 	if c.n >= c.contract.Guaranteed+c.contract.Optimistic {
-		return 0, fmt.Errorf("%w: n=%d g=%d o=%d", ErrQuota, c.n, c.contract.Guaranteed, c.contract.Optimistic)
+		// Sentinel, unwrapped: the try path runs on every fault once a
+		// domain is at quota, and formatting a fresh error there dominates.
+		return 0, ErrQuota
 	}
 	if len(c.fa.freeList) == 0 {
 		return 0, ErrNoMemory

@@ -52,7 +52,9 @@ func (st *FrameStack) Contains(pfn PFN) bool { return st.index(pfn) >= 0 }
 // PushTop adds a frame at the top (most revocable). Freshly allocated,
 // still-unused frames belong here.
 func (st *FrameStack) PushTop(pfn PFN) {
-	st.entries = append([]StackEntry{{PFN: pfn}}, st.entries...)
+	st.entries = append(st.entries, StackEntry{})
+	copy(st.entries[1:], st.entries)
+	st.entries[0] = StackEntry{PFN: pfn}
 }
 
 // PushBottom adds a frame at the bottom (least revocable).
@@ -66,19 +68,21 @@ func (st *FrameStack) Remove(pfn PFN) error {
 	if i < 0 {
 		return fmt.Errorf("%w: %d not on stack", ErrBadFrame, pfn)
 	}
-	st.entries = append(st.entries[:i], st.entries[i+1:]...)
+	copy(st.entries[i:], st.entries[i+1:])
+	st.entries = st.entries[:len(st.entries)-1]
 	return nil
 }
 
-// MoveToTop makes pfn the most revocable frame.
+// MoveToTop makes pfn the most revocable frame. The move shifts entries in
+// place: the stack sits on every fault's map path, so it must not allocate.
 func (st *FrameStack) MoveToTop(pfn PFN) error {
 	i := st.index(pfn)
 	if i < 0 {
 		return fmt.Errorf("%w: %d not on stack", ErrBadFrame, pfn)
 	}
 	e := st.entries[i]
-	st.entries = append(st.entries[:i], st.entries[i+1:]...)
-	st.entries = append([]StackEntry{e}, st.entries...)
+	copy(st.entries[1:i+1], st.entries[:i])
+	st.entries[0] = e
 	return nil
 }
 
@@ -89,8 +93,8 @@ func (st *FrameStack) MoveToBottom(pfn PFN) error {
 		return fmt.Errorf("%w: %d not on stack", ErrBadFrame, pfn)
 	}
 	e := st.entries[i]
-	st.entries = append(st.entries[:i], st.entries[i+1:]...)
-	st.entries = append(st.entries, e)
+	copy(st.entries[i:], st.entries[i+1:])
+	st.entries[len(st.entries)-1] = e
 	return nil
 }
 
@@ -120,6 +124,7 @@ func (st *FrameStack) PopTop() (StackEntry, bool) {
 		return StackEntry{}, false
 	}
 	e := st.entries[0]
-	st.entries = st.entries[1:]
+	copy(st.entries, st.entries[1:])
+	st.entries = st.entries[:len(st.entries)-1]
 	return e, true
 }

@@ -336,3 +336,74 @@ func TestCrosstalkSteadyStateNoFlags(t *testing.T) {
 		t.Fatalf("steady state flagged: %+v", m.Flags())
 	}
 }
+
+// TestPooledSpansPreserveHopsUnderChurn drives far more spans than the ring
+// retains, with varying hop counts, and checks that span recycling (the
+// free-list fed by ring eviction) never truncates or leaks hop breakdowns: a
+// recycled span that carried five hops must not smuggle them into its next
+// one-hop incarnation, and the per-hop aggregates must count every finished
+// span exactly once.
+func TestPooledSpansPreserveHopsUnderChurn(t *testing.T) {
+	r, fc := newTestRegistry()
+	hopNames := []string{"dispatch", "mmentry", "driver", "usd.read", "map"}
+	const total = 3*DefaultSpanCap + 17
+	wantPerHop := make(map[string]int64)
+	for i := 0; i < total; i++ {
+		nHops := i%len(hopNames) + 1
+		sp := r.StartSpan("d1", "page")
+		for h := 0; h < nHops; h++ {
+			sp.BeginHop(hopNames[h])
+			fc.advance(time.Microsecond)
+			wantPerHop[hopNames[h]]++
+		}
+		sp.Finish("worker")
+		if got := len(sp.Hops()); got != nHops {
+			t.Fatalf("span %d finished with %d hops, want %d (recycled span leaked hops)", i, got, nHops)
+		}
+	}
+	if r.SpanTotal() != total {
+		t.Fatalf("SpanTotal = %d, want %d", r.SpanTotal(), total)
+	}
+	spans := r.Spans()
+	if len(spans) != DefaultSpanCap {
+		t.Fatalf("retained %d spans, want %d", len(spans), DefaultSpanCap)
+	}
+	// Oldest retained span is index total-DefaultSpanCap; its hop count and
+	// names must match what it was finished with, hop chain contiguous.
+	for j, sp := range spans {
+		i := total - DefaultSpanCap + j
+		nHops := i%len(hopNames) + 1
+		hops := sp.Hops()
+		if len(hops) != nHops {
+			t.Fatalf("retained span %d has %d hops, want %d", i, len(hops), nHops)
+		}
+		for h, hop := range hops {
+			if hop.Name != hopNames[h] {
+				t.Fatalf("retained span %d hop %d = %q, want %q", i, h, hop.Name, hopNames[h])
+			}
+		}
+		if sp.HopSum() != sp.Duration() {
+			t.Fatalf("retained span %d: hop sum %v != duration %v", i, sp.HopSum(), sp.Duration())
+		}
+	}
+	// Aggregates saw every span, ring eviction notwithstanding.
+	sums := r.HopSummaries()
+	if len(sums) != len(hopNames) {
+		t.Fatalf("hop summaries = %d, want %d", len(sums), len(hopNames))
+	}
+	for _, hs := range sums {
+		if hs.Count != wantPerHop[hs.Hop] {
+			t.Fatalf("hop %q count = %d, want %d", hs.Hop, hs.Count, wantPerHop[hs.Hop])
+		}
+	}
+	// The TSV render carries the full breakdown.
+	var buf strings.Builder
+	if err := r.WriteSpansTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range hopNames {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("WriteSpansTSV missing hop %q:\n%s", name, buf.String())
+		}
+	}
+}

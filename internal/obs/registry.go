@@ -58,10 +58,16 @@ type Registry struct {
 	hopHists map[hopKey]*Histogram
 	hopOrder []hopKey
 
+	// spanStats caches, per (domain, class), the e2e histogram and the hop
+	// histograms a finished span observes into, so the per-fault recording
+	// path does no string concatenation and at most one map lookup.
+	spanStats map[spanKey]*spanStats
+
 	spanCap   int
 	spans     []*Span // ring buffer once full
 	spanHead  int     // next overwrite position
 	spanTotal int64   // spans ever recorded
+	freeSpans []*Span // recycled spans evicted from the ring
 
 	flags []Flag
 }
@@ -72,12 +78,13 @@ func NewRegistry(now Clock) *Registry {
 		now = func() sim.Time { return 0 }
 	}
 	return &Registry{
-		now:      now,
-		counters: make(map[Key]*Counter),
-		gauges:   make(map[Key]*Gauge),
-		hists:    make(map[Key]*Histogram),
-		hopHists: make(map[hopKey]*Histogram),
-		spanCap:  DefaultSpanCap,
+		now:       now,
+		counters:  make(map[Key]*Counter),
+		gauges:    make(map[Key]*Gauge),
+		hists:     make(map[Key]*Histogram),
+		hopHists:  make(map[hopKey]*Histogram),
+		spanStats: make(map[spanKey]*spanStats),
+		spanCap:   DefaultSpanCap,
 	}
 }
 

@@ -41,10 +41,20 @@ type Span struct {
 }
 
 // StartSpan opens a fault span for the given domain and fault class at the
-// current simulated time. A nil registry returns a nil span.
+// current simulated time. A nil registry returns a nil span. Spans are drawn
+// from a free list fed by ring eviction, so a steady-state fault path reuses
+// the same handful of spans; holders of Spans() snapshots must therefore
+// consume them before recording more spans.
 func (r *Registry) StartSpan(domain, class string) *Span {
 	if r == nil {
 		return nil
+	}
+	if n := len(r.freeSpans); n > 0 {
+		s := r.freeSpans[n-1]
+		r.freeSpans[n-1] = nil
+		r.freeSpans = r.freeSpans[:n-1]
+		*s = Span{reg: r, Domain: domain, Class: class, Start: r.now(), hops: s.hops[:0]}
+		return s
 	}
 	return &Span{reg: r, Domain: domain, Class: class, Start: r.now()}
 }
@@ -165,16 +175,60 @@ type hopKey struct {
 	Hop    string
 }
 
+// spanKey identifies one (domain, fault class) span population.
+type spanKey struct {
+	Domain string
+	Class  string
+}
+
+// spanStats holds the pre-resolved histogram handles for one span
+// population: the e2e latency histogram and, per hop name, the shared hop
+// histogram (the same one hopHists indexes for HopSummaries). Hop counts per
+// class are small, so a linear name scan beats a map lookup.
+type spanStats struct {
+	e2e  *Histogram
+	hops []hopSlot
+}
+
+type hopSlot struct {
+	name string
+	h    *Histogram
+}
+
+// statsFor returns (creating on first finish, which preserves the registry's
+// first-seen metric ordering) the handles for a span population.
+func (r *Registry) statsFor(domain, class string) *spanStats {
+	k := spanKey{domain, class}
+	ss, ok := r.spanStats[k]
+	if !ok {
+		ss = &spanStats{e2e: r.Histogram("span", "e2e."+class, domain)}
+		r.spanStats[k] = ss
+	}
+	return ss
+}
+
 // recordSpan folds a finished span into the aggregates and the ring.
 func (r *Registry) recordSpan(s *Span) {
-	r.Histogram("span", "e2e."+s.Class, s.Domain).Observe(s.Duration())
+	ss := r.statsFor(s.Domain, s.Class)
+	ss.e2e.Observe(s.Duration())
 	for _, h := range s.hops {
-		k := hopKey{s.Domain, s.Class, h.Name}
-		hist, ok := r.hopHists[k]
-		if !ok {
-			hist = newHistogram(r)
-			r.hopHists[k] = hist
-			r.hopOrder = append(r.hopOrder, k)
+		var hist *Histogram
+		for i := range ss.hops {
+			if ss.hops[i].name == h.Name {
+				hist = ss.hops[i].h
+				break
+			}
+		}
+		if hist == nil {
+			k := hopKey{s.Domain, s.Class, h.Name}
+			var ok bool
+			hist, ok = r.hopHists[k]
+			if !ok {
+				hist = newHistogram(r)
+				r.hopHists[k] = hist
+				r.hopOrder = append(r.hopOrder, k)
+			}
+			ss.hops = append(ss.hops, hopSlot{h.Name, hist})
 		}
 		hist.Observe(h.Duration())
 	}
@@ -183,8 +237,10 @@ func (r *Registry) recordSpan(s *Span) {
 		r.spans = append(r.spans, s)
 		return
 	}
+	old := r.spans[r.spanHead]
 	r.spans[r.spanHead] = s
 	r.spanHead = (r.spanHead + 1) % r.spanCap
+	r.freeSpans = append(r.freeSpans, old)
 }
 
 // Spans returns the retained finished spans, oldest first.

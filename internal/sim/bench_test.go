@@ -23,6 +23,7 @@ func BenchmarkProcContextSwitch(b *testing.B) {
 			n++
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	s.RunUntilIdle(b.N + 10)
 }
@@ -43,6 +44,7 @@ func BenchmarkCondSignalWait(b *testing.B) {
 			p.Sleep(time.Nanosecond)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	s.RunUntilIdle(4*b.N + 100)
 }
@@ -65,6 +67,7 @@ func BenchmarkQueueSendRecv(b *testing.B) {
 			n++
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	s.RunUntilIdle(8*b.N + 100)
 }

@@ -10,10 +10,13 @@ type waiter struct {
 
 // Cond is a FIFO condition variable on the simulated timeline. Unlike
 // sync.Cond there is no associated lock: the process model guarantees mutual
-// exclusion already.
+// exclusion already. The waiter queue is head-indexed so that steady-state
+// signal/wait traffic reuses one backing array instead of reslicing (and
+// eventually reallocating) on every Signal.
 type Cond struct {
 	sim     *Simulator
 	waiters []waiter
+	head    int
 }
 
 // NewCond returns a condition variable bound to s.
@@ -23,7 +26,7 @@ func NewCond(s *Simulator) *Cond { return &Cond{sim: s} }
 // Stale entries (woken by a timeout, killed) are excluded.
 func (c *Cond) Waiting() int {
 	n := 0
-	for _, w := range c.waiters {
+	for _, w := range c.waiters[c.head:] {
 		if !w.p.done && w.tok == w.p.wakeSeq {
 			n++
 		}
@@ -31,10 +34,19 @@ func (c *Cond) Waiting() int {
 	return n
 }
 
+// enqueue appends a waiter, compacting the consumed head space when the
+// queue is empty so the backing array is reused rather than regrown.
+func (c *Cond) enqueue(w waiter) {
+	if c.head > 0 && c.head == len(c.waiters) {
+		c.waiters = c.waiters[:0]
+		c.head = 0
+	}
+	c.waiters = append(c.waiters, w)
+}
+
 // Wait parks p until Signal or Broadcast wakes it.
 func (c *Cond) Wait(p *Proc) {
-	tok := p.prepare()
-	c.waiters = append(c.waiters, waiter{p, tok})
+	c.enqueue(waiter{p, p.prepare()})
 	p.park()
 }
 
@@ -42,33 +54,32 @@ func (c *Cond) Wait(p *Proc) {
 // the process was signalled, false on timeout.
 func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
 	tok := p.prepare()
-	c.waiters = append(c.waiters, waiter{p, tok})
-	signalled := true
-	timer := p.sim.At(p.sim.now.Add(d), func() {
-		if tok == p.wakeSeq && !p.done {
-			signalled = false
-			p.wake(tok)
-		}
-	})
+	c.enqueue(waiter{p, tok})
+	timer := p.sim.atWake(p.sim.now.Add(d), p, tok)
 	p.park()
-	timer.Stop()
-	return signalled
+	// If the timer is still pending we were woken by Signal before the
+	// deadline: cancel it and report success. A fired (or recycled) timer
+	// means the timeout won the race.
+	return timer.Stop()
 }
 
 // Signal wakes the longest-waiting live process, if any. The wakeup is
 // scheduled at the current instant so the signaller continues first (Mesa
 // semantics). It reports whether a process was woken.
 func (c *Cond) Signal() bool {
-	for len(c.waiters) > 0 {
-		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
+	for c.head < len(c.waiters) {
+		w := c.waiters[c.head]
+		c.waiters[c.head] = waiter{}
+		c.head++
 		if w.p.done || w.tok != w.p.wakeSeq {
 			continue // stale: timed out, killed, or rewoken elsewhere
 		}
-		tok := w.tok
-		proc := w.p
-		c.sim.At(c.sim.now, func() { proc.wake(tok) })
+		c.sim.atWake(c.sim.now, w.p, w.tok)
 		return true
+	}
+	if c.head > 0 {
+		c.waiters = c.waiters[:0]
+		c.head = 0
 	}
 	return false
 }

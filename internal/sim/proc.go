@@ -61,8 +61,7 @@ func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	tok := p.prepare()
-	s.At(s.now, func() { p.wake(tok) })
+	s.atWake(s.now, p, p.prepare())
 	return p
 }
 
@@ -119,11 +118,21 @@ func (p *Proc) park() {
 
 // Sleep suspends the process for d of simulated time.
 func (p *Proc) Sleep(d time.Duration) {
-	if d < 0 {
-		d = 0
+	if d <= 0 {
+		// Yield semantics: run again after everything already queued for
+		// this instant. When nothing is queued at the current instant the
+		// park/wake round-trip is an observable no-op (the wake would be the
+		// very next event dispatched, at the same time), so skip it. Any
+		// pending same-time event must still run first, hence the strict
+		// ev.t > now check.
+		if ev := p.sim.peekLive(); ev == nil || ev.t > p.sim.now {
+			return
+		}
+		p.sim.atWake(p.sim.now, p, p.prepare())
+		p.park()
+		return
 	}
-	tok := p.prepare()
-	p.sim.At(p.sim.now.Add(d), func() { p.wake(tok) })
+	p.sim.atWake(p.sim.now.Add(d), p, p.prepare())
 	p.park()
 }
 
@@ -153,6 +162,5 @@ func (p *Proc) Kill() {
 	}
 	// Invalidate whatever wakeup the process was waiting for and dispatch
 	// it so park() observes the kill.
-	tok := p.prepare()
-	p.sim.At(p.sim.now, func() { p.wake(tok) })
+	p.sim.atWake(p.sim.now, p, p.prepare())
 }

@@ -3,10 +3,13 @@ package sim
 // Queue is a bounded FIFO on the simulated timeline, analogous to a Go
 // channel but synchronised through the simulator. It backs the Nemesis "IO
 // channels" (the rbufs-like FIFO buffering between USD clients and the USD).
+// Items live in a fixed ring buffer sized at construction, so steady-state
+// send/recv traffic never allocates.
 type Queue[T any] struct {
 	sim      *Simulator
-	cap      int
-	items    []T
+	buf      []T
+	head     int // index of the oldest item
+	n        int // buffered item count
 	notEmpty *Cond
 	notFull  *Cond
 	closed   bool
@@ -20,17 +23,17 @@ func NewQueue[T any](s *Simulator, capacity int) *Queue[T] {
 	}
 	return &Queue[T]{
 		sim:      s,
-		cap:      capacity,
+		buf:      make([]T, capacity),
 		notEmpty: NewCond(s),
 		notFull:  NewCond(s),
 	}
 }
 
 // Len returns the number of buffered items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.n }
 
 // Cap returns the queue capacity.
-func (q *Queue[T]) Cap() int { return q.cap }
+func (q *Queue[T]) Cap() int { return len(q.buf) }
 
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.closed }
@@ -46,16 +49,32 @@ func (q *Queue[T]) Close() {
 	q.notFull.Broadcast()
 }
 
+// push appends v to the ring. The caller has checked there is room.
+func (q *Queue[T]) push(v T) {
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+}
+
+// pop removes and returns the oldest item. The caller has checked q.n > 0.
+func (q *Queue[T]) pop() T {
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v
+}
+
 // Send enqueues v, blocking p while the queue is full. It reports false if
 // the queue was closed before the item could be enqueued.
 func (q *Queue[T]) Send(p *Proc, v T) bool {
-	for len(q.items) >= q.cap && !q.closed {
+	for q.n >= len(q.buf) && !q.closed {
 		q.notFull.Wait(p)
 	}
 	if q.closed {
 		return false
 	}
-	q.items = append(q.items, v)
+	q.push(v)
 	q.notEmpty.Signal()
 	return true
 }
@@ -63,10 +82,10 @@ func (q *Queue[T]) Send(p *Proc, v T) bool {
 // TrySend enqueues v without blocking; it reports whether the item was
 // accepted.
 func (q *Queue[T]) TrySend(v T) bool {
-	if q.closed || len(q.items) >= q.cap {
+	if q.closed || q.n >= len(q.buf) {
 		return false
 	}
-	q.items = append(q.items, v)
+	q.push(v)
 	q.notEmpty.Signal()
 	return true
 }
@@ -74,38 +93,34 @@ func (q *Queue[T]) TrySend(v T) bool {
 // Recv dequeues the oldest item, blocking p while the queue is empty. It
 // reports false when the queue is closed and drained.
 func (q *Queue[T]) Recv(p *Proc) (T, bool) {
-	for len(q.items) == 0 && !q.closed {
+	for q.n == 0 && !q.closed {
 		q.notEmpty.Wait(p)
 	}
-	var zero T
-	if len(q.items) == 0 {
+	if q.n == 0 {
+		var zero T
 		return zero, false
 	}
-	v := q.items[0]
-	q.items[0] = zero
-	q.items = q.items[1:]
+	v := q.pop()
 	q.notFull.Signal()
 	return v, true
 }
 
 // TryRecv dequeues without blocking; ok reports whether an item was present.
 func (q *Queue[T]) TryRecv() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
+	if q.n == 0 {
+		var zero T
 		return zero, false
 	}
-	v := q.items[0]
-	q.items[0] = zero
-	q.items = q.items[1:]
+	v := q.pop()
 	q.notFull.Signal()
 	return v, true
 }
 
 // Peek returns the oldest item without removing it.
 func (q *Queue[T]) Peek() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
+	if q.n == 0 {
+		var zero T
 		return zero, false
 	}
-	return q.items[0], true
+	return q.buf[q.head], true
 }

@@ -197,3 +197,81 @@ func TestTimeArithmetic(t *testing.T) {
 		t.Fatalf("String = %q", tt.String())
 	}
 }
+
+// TestSameTimestampFIFOUnderChurn pins the tie-break contract under
+// adversarial heap state: events sharing a timestamp must dispatch in the
+// exact order they were scheduled, even after the heap's internal layout and
+// the event free list have been churned by a seeded-random schedule/cancel/
+// fire workload. A shuffled insertion stream goes in; the per-timestamp
+// dispatch sequence must reproduce that stream, and the whole run must be
+// bit-stable across repetitions.
+func TestSameTimestampFIFOUnderChurn(t *testing.T) {
+	run := func(seed int64) []int {
+		s := New(seed)
+		rng := s.Rand()
+
+		// Phase 1: churn. Random events at random times, a third of them
+		// cancelled, so the heap's sibling layout and the free list are in a
+		// non-trivial seeded-random state before the batch under test.
+		var timers []Timer
+		for i := 0; i < 300; i++ {
+			tm := s.At(Time(rng.Intn(50)), func() {})
+			if rng.Intn(3) == 0 {
+				timers = append(timers, tm)
+			}
+		}
+		for _, tm := range timers {
+			tm.Stop()
+		}
+		s.Run(50)
+
+		// Phase 2: a shuffled stream of (timestamp, id) pairs. Several ids
+		// share each timestamp; insertion order within a timestamp is the
+		// shuffled stream order.
+		const nTimes, perTime = 7, 20
+		type slot struct{ t, id int }
+		var stream []slot
+		for ts := 0; ts < nTimes; ts++ {
+			for k := 0; k < perTime; k++ {
+				stream = append(stream, slot{t: 100 + ts*10, id: ts*perTime + k})
+			}
+		}
+		rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+
+		insertion := make(map[int][]int) // timestamp -> ids in insertion order
+		var dispatched []int
+		for _, sl := range stream {
+			sl := sl
+			insertion[sl.t] = append(insertion[sl.t], sl.id)
+			s.At(Time(sl.t), func() { dispatched = append(dispatched, sl.id) })
+		}
+		s.RunUntilIdle(10000)
+
+		// Per-timestamp dispatch order must equal per-timestamp insertion
+		// order: walk the dispatch log grouped by the id's timestamp.
+		pos := make(map[int]int) // timestamp -> next expected index
+		for _, id := range dispatched {
+			ts := 100 + (id/perTime)*10
+			want := insertion[ts][pos[ts]]
+			if id != want {
+				t.Fatalf("seed %d: at t=%d dispatched id %d, want %d (FIFO among same-time events broken)",
+					seed, ts, id, want)
+			}
+			pos[ts]++
+		}
+		if len(dispatched) != nTimes*perTime {
+			t.Fatalf("seed %d: dispatched %d events, want %d", seed, len(dispatched), nTimes*perTime)
+		}
+		return dispatched
+	}
+
+	for _, seed := range []int64{1, 7, 42, 12345} {
+		a, b := run(seed), run(seed)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: dispatch sequence not stable across runs (index %d: %d vs %d)",
+					seed, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -41,6 +41,39 @@ type Backing interface {
 // check HasCopy first, so seeing it indicates a pager bug or a raced drop.
 var ErrNoCopy = errors.New("stretchdrv: no backing copy of page")
 
+// writeScratch is the per-WritePages working set: the merged write buffer
+// and the batch-ordering slices. Scratches are pooled per backing and
+// checked out for the duration of a call, so overlapping WritePages calls
+// (worker eviction racing a user-thread Sync) each hold their own.
+type writeScratch struct {
+	buf   []byte
+	infos []*pageInfo
+	order []int
+}
+
+// scratchPool is a free list of writeScratch, embedded in each backing.
+type scratchPool struct{ free []*writeScratch }
+
+func (p *scratchPool) get() *writeScratch {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return s
+	}
+	return &writeScratch{}
+}
+
+func (p *scratchPool) put(s *writeScratch) {
+	s.buf = s.buf[:0]
+	for i := range s.infos {
+		s.infos[i] = nil
+	}
+	s.infos = s.infos[:0]
+	s.order = s.order[:0]
+	p.free = append(p.free, s)
+}
+
 // pageInfo is the swap backing's per-page record.
 type pageInfo struct {
 	blok   int64 // allocated swap blok, or -1
@@ -51,9 +84,10 @@ type pageInfo struct {
 // bloks (each exactly one page) allocated lazily at first clean — the
 // paper's User-Safe Backing Store scheme.
 type SwapBacking struct {
-	swap  *sfs.SwapFile
-	blok  *BlokAllocator
-	pages map[vm.VPN]*pageInfo
+	swap    *sfs.SwapFile
+	blok    *BlokAllocator
+	pages   map[vm.VPN]*pageInfo
+	scratch scratchPool
 }
 
 // NewSwapBacking wraps swap in a blok-managed page store.
@@ -137,14 +171,18 @@ func (b *SwapBacking) Drop(va vm.VA) {
 // can merge into few transactions — then disk-adjacent pages are written as
 // single multi-block spanned writes: one USD request, one seek.
 func (b *SwapBacking) WritePages(p *sim.Proc, pages []DirtyPage, sp *obs.Span) (int, error) {
-	infos := make([]*pageInfo, len(pages))
+	sc := b.scratch.get()
+	defer b.scratch.put(sc)
+	infos := sc.infos
 	var need []*pageInfo
-	for i, pg := range pages {
-		infos[i] = b.info(pg.VA)
-		if infos[i].blok < 0 {
-			need = append(need, infos[i])
+	for _, pg := range pages {
+		pi := b.info(pg.VA)
+		infos = append(infos, pi)
+		if pi.blok < 0 {
+			need = append(need, pi)
 		}
 	}
+	sc.infos = infos
 	if len(need) > 0 {
 		if start, err := b.blok.AllocRun(len(need)); err == nil {
 			for i, pi := range need {
@@ -169,10 +207,11 @@ func (b *SwapBacking) WritePages(p *sim.Proc, pages []DirtyPage, sp *obs.Span) (
 		}
 	}
 
-	order := make([]int, len(pages))
-	for i := range order {
-		order[i] = i
+	order := sc.order
+	for i := range pages {
+		order = append(order, i)
 	}
+	sc.order = order
 	sort.Slice(order, func(i, j int) bool { return infos[order[i]].blok < infos[order[j]].blok })
 
 	txns := 0
@@ -182,10 +221,11 @@ func (b *SwapBacking) WritePages(p *sim.Proc, pages []DirtyPage, sp *obs.Span) (
 			run++
 		}
 		blocks := int(b.blok.BlokBlocks())
-		buf := make([]byte, 0, run*int(vm.PageSize))
+		buf := sc.buf[:0]
 		for k := 0; k < run; k++ {
 			buf = append(buf, pages[order[at+k]].Data...)
 		}
+		sc.buf = buf
 		off := b.blok.BlockOffset(infos[order[at]].blok)
 		if err := b.swap.WriteSpanned(p, off, run*blocks, buf, sp); err != nil {
 			return txns, err
@@ -204,8 +244,9 @@ func (b *SwapBacking) WritePages(p *sim.Proc, pages []DirtyPage, sp *obs.Span) (
 // authoritative for non-resident pages, so HasCopy is always true and no
 // blok allocator is needed.
 type MappedBacking struct {
-	file *sfs.SwapFile
-	base vm.VA
+	file    *sfs.SwapFile
+	base    vm.VA
+	scratch scratchPool
 }
 
 // NewMappedBacking maps the stretch starting at base onto file.
@@ -236,10 +277,13 @@ func (b *MappedBacking) ReadPage(p *sim.Proc, va vm.VA, buf []byte, sp *obs.Span
 // WritePages implements Backing, merging file-adjacent pages into single
 // spanned writes.
 func (b *MappedBacking) WritePages(p *sim.Proc, pages []DirtyPage, sp *obs.Span) (int, error) {
-	order := make([]int, len(pages))
-	for i := range order {
-		order[i] = i
+	sc := b.scratch.get()
+	defer b.scratch.put(sc)
+	order := sc.order
+	for i := range pages {
+		order = append(order, i)
 	}
+	sc.order = order
 	sort.Slice(order, func(i, j int) bool { return pages[order[i]].VA < pages[order[j]].VA })
 
 	pageBlocks := int(vm.PageSize / int64(disk.BlockSize))
@@ -249,10 +293,11 @@ func (b *MappedBacking) WritePages(p *sim.Proc, pages []DirtyPage, sp *obs.Span)
 		for at+run < len(order) && pages[order[at+run]].VA == pages[order[at+run-1]].VA+vm.VA(vm.PageSize) {
 			run++
 		}
-		buf := make([]byte, 0, run*int(vm.PageSize))
+		buf := sc.buf[:0]
 		for k := 0; k < run; k++ {
 			buf = append(buf, pages[order[at+k]].Data...)
 		}
+		sc.buf = buf
 		off := b.fileOffset(pages[order[at]].VA)
 		if err := b.file.WriteSpanned(p, off, run*pageBlocks, buf, sp); err != nil {
 			return txns, err

@@ -56,6 +56,17 @@ type Engine struct {
 
 	Stats PagerStats
 
+	// bufs and batches are free lists of page-sized buffers and cleaning
+	// batches. Page contents only live in them transiently (page-in reads,
+	// write-back snapshots); every backing copies payloads into its own
+	// buffers before its blocking call returns, so a checked-out buffer can
+	// be recycled as soon as the read or write completes. The cooperative
+	// process model makes get/put pairs atomic between blocking points, so
+	// concurrent checkouts (worker eviction vs. a user-thread Sync) simply
+	// draw different buffers.
+	bufs    [][]byte
+	batches [][]DirtyPage
+
 	// Cached telemetry handles (nil when the domain has no registry).
 	cPageIns      *obs.Counter
 	cPageOuts     *obs.Counter
@@ -101,6 +112,42 @@ func newEngine(dom *domain.Domain, st *vm.Stretch, name string, policy Replaceme
 		e.cSpares = r.Counter("pager", "spares_"+policy.Name(), dom.Name())
 	}
 	return e
+}
+
+// getPageBuf checks a page-sized buffer out of the free list.
+func (e *Engine) getPageBuf() []byte {
+	if n := len(e.bufs); n > 0 {
+		b := e.bufs[n-1]
+		e.bufs[n-1] = nil
+		e.bufs = e.bufs[:n-1]
+		return b
+	}
+	return make([]byte, vm.PageSize)
+}
+
+// putPageBuf returns a buffer to the free list.
+func (e *Engine) putPageBuf(b []byte) { e.bufs = append(e.bufs, b) }
+
+// getBatch checks an empty cleaning batch out of the free list.
+func (e *Engine) getBatch() []DirtyPage {
+	if n := len(e.batches); n > 0 {
+		b := e.batches[n-1]
+		e.batches[n-1] = nil
+		e.batches = e.batches[:n-1]
+		return b
+	}
+	return nil
+}
+
+// putBatch recycles a finished cleaning batch and every page buffer in it.
+func (e *Engine) putBatch(b []DirtyPage) {
+	for i := range b {
+		if b[i].Data != nil {
+			e.putPageBuf(b[i].Data)
+		}
+		b[i] = DirtyPage{}
+	}
+	e.batches = append(e.batches, b[:0])
 }
 
 // DriverName implements domain.Driver.
@@ -179,11 +226,19 @@ func (e *Engine) SatisfyFault(p *sim.Proc, f *vm.Fault, canIDC bool) domain.Resu
 	}
 
 	if needsPageIn {
-		buf := make([]byte, vm.PageSize)
-		if err := e.backing.ReadPage(p, va, buf, f.Span); err != nil {
+		// The read lands in a pooled buffer rather than the frame itself:
+		// another process could claim the unused frame while this one blocks
+		// on the disk, and every backing fills (or copies into) buf before
+		// returning, so recycling it immediately after the copy is safe.
+		buf := e.getPageBuf()
+		err := e.backing.ReadPage(p, va, buf, f.Span)
+		if err == nil {
+			copy(e.env().Store.Frame(pfn), buf)
+		}
+		e.putPageBuf(buf)
+		if err != nil {
 			return domain.Failure
 		}
-		copy(e.env().Store.Frame(pfn), buf)
 		e.Stats.PageIns++
 		e.cPageIns.Inc()
 	} else {
@@ -229,6 +284,7 @@ func (e *Engine) evictOne(p *sim.Proc, sp *obs.Span) (mem.PFN, error) {
 			batch := e.gatherCluster(va, pfn)
 			txns, err := e.backing.WritePages(p, batch, sp)
 			if err != nil {
+				e.putBatch(batch)
 				return 0, err
 			}
 			e.Stats.PageOuts += int64(len(batch))
@@ -247,6 +303,7 @@ func (e *Engine) evictOne(p *sim.Proc, sp *obs.Span) (mem.PFN, error) {
 					pte.Attr.FOW = true
 				}
 			}
+			e.putBatch(batch)
 		}
 	} else {
 		e.Stats.CleanVictims++
@@ -262,9 +319,9 @@ func (e *Engine) evictOne(p *sim.Proc, sp *obs.Span) (mem.PFN, error) {
 // dirty resident pages (in eviction order, so the pages cleaned early are
 // the ones leaving soonest anyway) into one cleaning batch.
 func (e *Engine) gatherCluster(va vm.VA, pfn mem.PFN) []DirtyPage {
-	buf := make([]byte, vm.PageSize)
+	buf := e.getPageBuf()
 	copy(buf, e.env().Store.Frame(pfn))
-	batch := []DirtyPage{{VA: va, Data: buf}}
+	batch := append(e.getBatch(), DirtyPage{VA: va, Data: buf})
 	if e.cluster <= 1 {
 		return batch
 	}
@@ -277,7 +334,7 @@ func (e *Engine) gatherCluster(va vm.VA, pfn mem.PFN) []DirtyPage {
 		if pte == nil || !pte.Valid || !pte.Dirty {
 			continue
 		}
-		data := make([]byte, vm.PageSize)
+		data := e.getPageBuf()
 		copy(data, e.env().Store.Frame(pte.PFN))
 		batch = append(batch, DirtyPage{VA: other, Data: data})
 	}
@@ -294,7 +351,8 @@ func (e *Engine) Sync(p *sim.Proc) error {
 		return nil
 	}
 	ts := e.env().TS
-	var batch []DirtyPage
+	batch := e.getBatch()
+	defer func() { e.putBatch(batch) }()
 	var ptes []*vm.PTE
 	flush := func() error {
 		if len(batch) == 0 {
@@ -309,6 +367,10 @@ func (e *Engine) Sync(p *sim.Proc) error {
 			pte.Dirty = false
 			pte.Attr.FOW = true
 		}
+		for i := range batch {
+			e.putPageBuf(batch[i].Data)
+			batch[i] = DirtyPage{}
+		}
 		batch, ptes = batch[:0], ptes[:0]
 		return nil
 	}
@@ -317,7 +379,7 @@ func (e *Engine) Sync(p *sim.Proc) error {
 		if pte == nil || !pte.Valid || !pte.Dirty {
 			continue
 		}
-		data := make([]byte, vm.PageSize)
+		data := e.getPageBuf()
 		copy(data, e.env().Store.Frame(pte.PFN))
 		batch = append(batch, DirtyPage{VA: va, Data: data})
 		ptes = append(ptes, pte)

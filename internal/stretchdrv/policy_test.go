@@ -173,6 +173,7 @@ func BenchmarkPolicyVictim(b *testing.B) {
 				pol.NoteMapped(va)
 				ps[va] = i%2 == 0
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				va, _, ok := pol.Victim(ps)

@@ -34,6 +34,7 @@ type Streaming struct {
 	pfCh     *usd.Channel
 	inflight map[vm.VPN]*pfEntry
 	kick     *sim.Cond
+	freeReqs []*usd.Request // completed prefetch requests, for resubmission
 
 	lastVPN  vm.VPN
 	runLen   int
@@ -181,11 +182,21 @@ func (s *Streaming) prefetchLoop(t *domain.Thread) {
 			}
 			e := &pfEntry{done: sim.NewCond(s.env().Sim)}
 			s.inflight[vpn] = e
-			req := &usd.Request{
-				Op:    disk.Read,
-				Block: block,
-				Count: int(s.swap.BlokBlocks()),
-				Tag:   vpn,
+			var req *usd.Request
+			if n := len(s.freeReqs); n > 0 {
+				req = s.freeReqs[n-1]
+				s.freeReqs[n-1] = nil
+				s.freeReqs = s.freeReqs[:n-1]
+				req.Block = block
+				req.Tag = vpn
+				req.Err = nil
+			} else {
+				req = &usd.Request{
+					Op:    disk.Read,
+					Block: block,
+					Count: int(s.swap.BlokBlocks()),
+					Tag:   vpn,
+				}
 			}
 			// Reserve the frame against concurrent claims: mark its
 			// stack slot with the target VA now.
@@ -238,6 +249,7 @@ func (s *Streaming) prefetchLoop(t *domain.Thread) {
 			fl.e.ok = ok
 			delete(s.inflight, fl.vpn)
 			fl.e.done.Broadcast()
+			s.freeReqs = append(s.freeReqs, req)
 		}
 	}
 }

@@ -57,6 +57,7 @@ type client struct {
 	accruing   bool
 	worklessAt sim.Time
 	laxTimer   sim.Timer
+	settleFn   func() // pre-bound settleLax, re-armed on every idle span
 	inService  bool
 
 	// Counters.
@@ -162,6 +163,7 @@ func (u *USD) Open(name string, q atropos.QoS, depth int) (*Channel, error) {
 		comps: sim.NewQueue[*Request](u.sim, 2*depth),
 	}
 	cl := &client{ac: ac, ch: ch}
+	cl.settleFn = func() { u.settleLax(cl) }
 	if u.Obs != nil {
 		cl.hQueueWait = u.Obs.Histogram("usd", "queue_wait", name)
 		cl.hService = u.Obs.Histogram("usd", "service", name)
@@ -277,7 +279,7 @@ func (u *USD) startLax(cl *client) {
 	if r := cl.ac.Remain(); r < limit {
 		limit = r
 	}
-	cl.laxTimer = u.sim.After(limit, func() { u.settleLax(cl) })
+	cl.laxTimer = u.sim.After(limit, cl.settleFn)
 }
 
 // settleLax charges the lax span accrued so far, if any, and logs it.

@@ -83,7 +83,8 @@ type tlbEntry struct {
 	vpn   VPN // block base
 	asn   uint16
 	width uint8
-	ptes  []*PTE // 1<<width entries, indexed by vpn-base
+	ptes  []*PTE  // 1<<width entries, indexed by vpn-base
+	pte0  [1]*PTE // inline storage for width-0 entries (no fill alloc)
 }
 
 func (e *tlbEntry) covers(vpn VPN) bool {
@@ -100,8 +101,36 @@ const TLBSize = 64
 type TLB struct {
 	slots  [TLBSize]tlbEntry
 	cursor int
+	// idx finds the valid width-0 slot for (vpn, asn) without scanning all
+	// 64 slots; the slot array stays the ground truth. nSuper counts valid
+	// superpage slots so the scan fallback runs only when one could hit.
+	idx    map[tlbKey]int
+	nSuper int
 	hits   int64
 	misses int64
+}
+
+// tlbKey indexes width-0 translations.
+type tlbKey struct {
+	vpn VPN
+	asn uint16
+}
+
+// dropSlot invalidates slot i and unhooks it from the index bookkeeping.
+func (t *TLB) dropSlot(i int) {
+	e := &t.slots[i]
+	if !e.valid {
+		return
+	}
+	e.valid = false
+	if e.width == 0 {
+		k := tlbKey{e.vpn, e.asn}
+		if j, ok := t.idx[k]; ok && j == i {
+			delete(t.idx, k)
+		}
+	} else {
+		t.nSuper--
+	}
 }
 
 // Hits returns the hit count.
@@ -113,11 +142,17 @@ func (t *TLB) Misses() int64 { return t.misses }
 // Lookup returns the cached PTE for (vpn, asn), if any. Superpage entries
 // hit for every page they cover.
 func (t *TLB) Lookup(vpn VPN, asn uint16) *PTE {
-	for i := range t.slots {
-		e := &t.slots[i]
-		if e.asn == asn && e.covers(vpn) {
-			t.hits++
-			return e.ptes[vpn-e.vpn]
+	if i, ok := t.idx[tlbKey{vpn, asn}]; ok {
+		t.hits++
+		return t.slots[i].ptes[0]
+	}
+	if t.nSuper > 0 {
+		for i := range t.slots {
+			e := &t.slots[i]
+			if e.asn == asn && e.covers(vpn) {
+				t.hits++
+				return e.ptes[vpn-e.vpn]
+			}
 		}
 	}
 	t.misses++
@@ -126,14 +161,24 @@ func (t *TLB) Lookup(vpn VPN, asn uint16) *PTE {
 
 // Fill installs a normal (width 0) translation, evicting FIFO.
 func (t *TLB) Fill(vpn VPN, asn uint16, pte *PTE) {
-	t.slots[t.cursor] = tlbEntry{valid: true, vpn: vpn, asn: asn, ptes: []*PTE{pte}}
+	if t.idx == nil {
+		t.idx = make(map[tlbKey]int, TLBSize)
+	}
+	t.dropSlot(t.cursor)
+	e := &t.slots[t.cursor]
+	*e = tlbEntry{valid: true, vpn: vpn, asn: asn}
+	e.pte0[0] = pte
+	e.ptes = e.pte0[:1]
+	t.idx[tlbKey{vpn, asn}] = t.cursor
 	t.cursor = (t.cursor + 1) % TLBSize
 }
 
 // FillSuper installs a superpage translation covering 1<<width pages from
 // base. ptes must hold the per-page entries in order.
 func (t *TLB) FillSuper(base VPN, asn uint16, width uint8, ptes []*PTE) {
+	t.dropSlot(t.cursor)
 	t.slots[t.cursor] = tlbEntry{valid: true, vpn: base, asn: asn, width: width, ptes: ptes}
+	t.nSuper++
 	t.cursor = (t.cursor + 1) % TLBSize
 }
 
@@ -143,7 +188,7 @@ func (t *TLB) FillSuper(base VPN, asn uint16, width uint8, ptes []*PTE) {
 func (t *TLB) InvalidateVA(vpn VPN) {
 	for i := range t.slots {
 		if t.slots[i].covers(vpn) {
-			t.slots[i].valid = false
+			t.dropSlot(i)
 		}
 	}
 }
@@ -153,7 +198,7 @@ func (t *TLB) InvalidateVA(vpn VPN) {
 func (t *TLB) InvalidateASN(asn uint16) {
 	for i := range t.slots {
 		if t.slots[i].valid && t.slots[i].asn == asn {
-			t.slots[i].valid = false
+			t.dropSlot(i)
 		}
 	}
 }
@@ -161,6 +206,6 @@ func (t *TLB) InvalidateASN(asn uint16) {
 // Flush empties the TLB.
 func (t *TLB) Flush() {
 	for i := range t.slots {
-		t.slots[i].valid = false
+		t.dropSlot(i)
 	}
 }

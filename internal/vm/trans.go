@@ -252,8 +252,21 @@ func (ts *TranslationSystem) Nail(caller *ProtectionDomain, domain mem.DomainID,
 // referenced/dirty maintenance. On success it returns the PTE; on failure a
 // Fault ready for dispatch.
 func (ts *TranslationSystem) Access(pd *ProtectionDomain, va VA, acc Access) (*PTE, *Fault) {
+	var f Fault
+	pte, faulted := ts.AccessInto(pd, va, acc, &f)
+	if faulted {
+		heap := f
+		return nil, &heap
+	}
+	return pte, nil
+}
+
+// AccessInto is Access with a caller-owned fault record: on failure it fills
+// *f and reports faulted=true. Hot callers that dispatch faults synchronously
+// (the thread blocks until resolution) can reuse one Fault across accesses
+// instead of allocating per fault.
+func (ts *TranslationSystem) AccessInto(pd *ProtectionDomain, va VA, acc Access, f *Fault) (pte *PTE, faulted bool) {
 	vpn := PageOf(va)
-	var pte *PTE
 	if pd != nil {
 		pte = ts.tlb.Lookup(vpn, pd.asn)
 	}
@@ -262,7 +275,8 @@ func (ts *TranslationSystem) Access(pd *ProtectionDomain, va VA, acc Access) (*P
 		pte = ts.pt.Lookup(vpn)
 	}
 	if pte == nil || !pte.Present {
-		return nil, &Fault{VA: va, Class: UnallocatedFault, Access: acc}
+		*f = Fault{VA: va, Class: UnallocatedFault, Access: acc}
+		return nil, true
 	}
 	var rights Rights
 	if pd != nil {
@@ -270,10 +284,12 @@ func (ts *TranslationSystem) Access(pd *ProtectionDomain, va VA, acc Access) (*P
 	}
 	rights |= pte.Prot
 	if !rights.Has(acc.need()) {
-		return nil, &Fault{VA: va, Class: ProtectionFault, Access: acc, SID: pte.SID}
+		*f = Fault{VA: va, Class: ProtectionFault, Access: acc, SID: pte.SID}
+		return nil, true
 	}
 	if !pte.Valid {
-		return nil, &Fault{VA: va, Class: PageFault, Access: acc, SID: pte.SID}
+		*f = Fault{VA: va, Class: PageFault, Access: acc, SID: pte.SID}
+		return nil, true
 	}
 	if !fromTLB && pd != nil {
 		if pte.Width > 0 {
@@ -317,7 +333,7 @@ func (ts *TranslationSystem) Access(pd *ProtectionDomain, va VA, acc Access) (*P
 		}
 		pte.Referenced = true
 	}
-	return pte, nil
+	return pte, false
 }
 
 // IsDirty reports whether the page containing va has been written since it

@@ -245,9 +245,22 @@ func StartFSClient(sys *core.System, cfg FSClientConfig, series *trace.Series) (
 		fc.lastAt = p.Now()
 		next := cfg.Partition.Start
 		inflight := 0
+		// Completed requests are resubmitted rather than reallocated; their
+		// Data buffers (sized by the first Submit) ride along, so a
+		// steady-state client allocates nothing per read.
+		var free []*usd.Request
 		for !fc.stopped {
 			for inflight < cfg.Depth {
-				req := &usd.Request{Op: disk.Read, Block: next, Count: pageBlocks}
+				var req *usd.Request
+				if n := len(free); n > 0 {
+					req = free[n-1]
+					free[n-1] = nil
+					free = free[:n-1]
+					req.Block = next
+					req.Err = nil
+				} else {
+					req = &usd.Request{Op: disk.Read, Block: next, Count: pageBlocks}
+				}
 				if err := ch.Submit(p, req); err != nil {
 					return
 				}
@@ -257,9 +270,11 @@ func StartFSClient(sys *core.System, cfg FSClientConfig, series *trace.Series) (
 					next = cfg.Partition.Start
 				}
 			}
-			if _, err := ch.Await(p); err != nil {
+			done, err := ch.Await(p)
+			if err != nil {
 				return
 			}
+			free = append(free, done)
 			inflight--
 			fc.Bytes += int64(vm.PageSize)
 			if cfg.ProcessTime > 0 {
