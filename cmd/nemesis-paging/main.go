@@ -13,6 +13,13 @@
 //	-suite   run the full suite (Table 1, Figs. 7–9, ablations, extensions,
 //	         netswap) as independent cells fanned across -workers goroutines;
 //	         output order and content are identical at any worker count
+//	-timeline out.json
+//	         export the run's timeline (figs 7/8/9) as Chrome trace-event
+//	         JSON, loadable in ui.perfetto.dev; adds a deterministic
+//	         revocation episode to figs 7/8 so revocation phases appear
+//	-timeline-jsonl out.jsonl
+//	         export the compact JSONL timeline dump instead (convert or
+//	         validate with nemesis-timeline)
 //	-cpuprofile/-memprofile
 //	         write pprof profiles for performance work
 //
@@ -23,6 +30,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -30,6 +38,7 @@ import (
 	"sort"
 	"time"
 
+	"nemesis/internal/core"
 	"nemesis/internal/experiments"
 	"nemesis/internal/experiments/sweep"
 )
@@ -42,6 +51,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	metrics := flag.Bool("metrics", false, "enable fault-path telemetry and append span/metric summaries (figs 7/8)")
 	e8 := flag.String("e8", "", "netswap experiment: sweep, outage, degrade, or all")
+	timeline := flag.String("timeline", "", "write a Perfetto-loadable trace-event JSON timeline to this file (figs 7/8/9)")
+	timelineJSONL := flag.String("timeline-jsonl", "", "write the compact JSONL timeline dump to this file (convert with nemesis-timeline)")
 	suite := flag.Bool("suite", false, "run the full experiment suite as parallel deterministic cells")
 	workers := flag.Int("workers", 0, "sweep fan-out width (0 = NEMESIS_SWEEP_WORKERS or GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -96,10 +107,12 @@ func main() {
 			opt.Forgetful = true
 		}
 		opt.Telemetry = *metrics
+		opt.Timeline = *timeline != "" || *timelineJSONL != ""
 		r, err := experiments.RunPaging(opt)
 		if err != nil {
 			log.Fatalf("nemesis-paging: %v", err)
 		}
+		writeTimelines(r.Sys, *timeline, *timelineJSONL)
 		fmt.Printf("# Figure %d: sustained bandwidth (Mbit/s), sampled every %v\n", *fig, opt.SampleEvery)
 		if err := r.Set.WriteTSV(os.Stdout); err != nil {
 			log.Fatal(err)
@@ -135,10 +148,12 @@ func main() {
 		opt := experiments.DefaultFig9Options()
 		opt.Measure = *measure
 		opt.Seed = *seed
+		opt.Timeline = *timeline != "" || *timelineJSONL != ""
 		r, err := experiments.RunFig9(opt)
 		if err != nil {
 			log.Fatalf("nemesis-paging: %v", err)
 		}
+		writeTimelines(r.ContendedSys, *timeline, *timelineJSONL)
 		fmt.Println("# Figure 9: file-system client isolation")
 		fmt.Printf("fs alone:\t%.2f Mbit/s\n", r.AloneMbps)
 		fmt.Printf("fs + 2 pagers:\t%.2f Mbit/s\n", r.ContendedMbps)
@@ -149,6 +164,33 @@ func main() {
 
 	default:
 		log.Fatalf("nemesis-paging: unknown figure %d", *fig)
+	}
+}
+
+// writeTimelines exports the run's timeline in whichever formats were
+// requested (no-ops on empty paths or a nil system).
+func writeTimelines(sys *core.System, tracePath, jsonlPath string) {
+	if sys == nil || (tracePath == "" && jsonlPath == "") {
+		return
+	}
+	write := func(path string, render func(io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatalf("nemesis-paging: %v", err)
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			log.Fatalf("nemesis-paging: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("nemesis-paging: %v", err)
+		}
+	}
+	if tracePath != "" {
+		write(tracePath, sys.WriteTimeline)
+	}
+	if jsonlPath != "" {
+		write(jsonlPath, sys.WriteTimelineJSONL)
 	}
 }
 

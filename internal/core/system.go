@@ -98,9 +98,10 @@ type System struct {
 	// stretch is created (or EnableNetSwap is called).
 	NetSwap *netswap.Fabric
 
-	domains map[mem.DomainID]*domain.Domain
-	nextID  mem.DomainID
-	monitor *obs.CrosstalkMonitor
+	domains  map[mem.DomainID]*domain.Domain
+	nextID   mem.DomainID
+	monitor  *obs.CrosstalkMonitor
+	recorder *obs.Recorder
 }
 
 // New builds a System from cfg.
@@ -201,6 +202,9 @@ func (sys *System) NewDomain(name string, cpuQoS atropos.QoS, ct mem.Contract) (
 	memc.SetTelemetryName(name)
 	sys.domains[id] = dom
 	sys.nextID++
+	if sys.recorder != nil {
+		sys.trackDomain(sys.recorder, dom)
+	}
 	return dom, nil
 }
 
@@ -579,6 +583,9 @@ func (sys *System) RunUntilIdle(maxEvents int) { sys.Sim.RunUntilIdle(maxEvents)
 // Shutdown stops background service loops (the USD, the crosstalk monitor
 // and the netswap server, if running) so RunUntilIdle terminates.
 func (sys *System) Shutdown() {
+	if sys.recorder != nil {
+		sys.recorder.Stop()
+	}
 	if sys.monitor != nil {
 		sys.monitor.Stop()
 	}

@@ -67,9 +67,9 @@ func (sys *System) WriteTopTable(w io.Writer) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "free frames: %d   spans recorded: %d   crosstalk flags: %d   t=%.0fms\n",
-		sys.Frames.FreeFrames(), sys.Obs.SpanTotal(), len(sys.Obs.Flags()),
-		sys.Obs.Now().Milliseconds())
+	fmt.Fprintf(w, "free frames: %d   spans recorded: %d   spans evicted: %d   crosstalk flags: %d   t=%.0fms\n",
+		sys.Frames.FreeFrames(), sys.Obs.SpanTotal(), sys.Obs.SpansEvicted(),
+		len(sys.Obs.Flags()), sys.Obs.Now().Milliseconds())
 	return nil
 }
 

@@ -208,6 +208,19 @@ func (d *Domain) Bind(st *vm.Stretch, drv Driver) {
 // DriverFor returns the driver bound to a stretch, or nil.
 func (d *Domain) DriverFor(sid vm.StretchID) Driver { return d.drivers[sid] }
 
+// ResidentPages sums the resident page counts of every bound stretch driver
+// that reports one (the pager engines do). The timeline recorder samples it
+// as the domain's paging working set.
+func (d *Domain) ResidentPages() int {
+	total := 0
+	for _, drv := range d.drivers {
+		if rp, ok := drv.(interface{ ResidentPages() int }); ok {
+			total += rp.ResidentPages()
+		}
+	}
+	return total
+}
+
 // SetFaultHandler installs a custom handler for one fault class,
 // overriding the default dispatch (kill for protection/unallocated faults,
 // stretch-driver resolution for page faults).

@@ -123,6 +123,11 @@ type NetswapOutageResult struct {
 	RemoteMbps [3]float64
 	// Flags is what the crosstalk monitor raised across the whole run.
 	Flags []obs.Flag
+	// Crosstalk is the qos.crosstalk audit-event slice for the run — the
+	// structured form "zero crosstalk" is asserted on.
+	Crosstalk []obs.AuditEvent
+	// Audit is the full audit log (netswap transitions included).
+	Audit []obs.AuditEvent
 	// MonitorTicks > 0 proves the monitor was actually sampling.
 	MonitorTicks int64
 }
@@ -172,11 +177,15 @@ func RunNetswapOutage(phase time.Duration) (*NetswapOutageResult, error) {
 	sys.NetSwap.SetOutage(false)
 	snap(2, phase)
 
+	// Shutdown first: the monitor flushes its trailing partial window on
+	// Stop, and those flags/audit events belong to the run.
+	sys.Shutdown()
 	res.Flags = sys.Obs.Flags()
+	res.Crosstalk = sys.Obs.AuditByKind(obs.AuditCrosstalk)
+	res.Audit = sys.Obs.AuditLog()
 	if mon != nil {
 		res.MonitorTicks = mon.Ticks()
 	}
-	sys.Shutdown()
 	return res, nil
 }
 
@@ -192,6 +201,9 @@ type NetswapDegradeResult struct {
 	// DegradedDuringOutage records whether the backing was running on its
 	// local tier at the end of the outage phase.
 	DegradedDuringOutage bool
+	// Audit is the run's audit log; the degrade → probe → restore
+	// transitions appear here as net.* events.
+	Audit []obs.AuditEvent
 }
 
 // RunNetswapDegrade runs E8c with the given phase length.
@@ -240,5 +252,6 @@ func RunNetswapDegrade(phase time.Duration) (*NetswapDegradeResult, error) {
 
 	res.Stats = tb.Stats
 	sys.Shutdown()
+	res.Audit = sys.Obs.AuditLog()
 	return res, nil
 }

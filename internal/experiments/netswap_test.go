@@ -73,6 +73,12 @@ func TestNetswapOutageIsolation(t *testing.T) {
 	if len(res.Flags) != 0 {
 		t.Fatalf("outage leaked across the QoS firewall: %+v", res.Flags)
 	}
+	// "Zero crosstalk" as a structured audit assertion: the audit log must
+	// contain no qos.crosstalk events either (the monitor mirrors every flag
+	// there, including any raised by the trailing partial window on Stop).
+	if len(res.Crosstalk) != 0 {
+		t.Fatalf("qos.crosstalk audit events recorded: %+v", res.Crosstalk)
+	}
 	// The remote domain alone stalls during the outage and recovers after.
 	if res.RemoteMbps[0] <= 0 || res.RemoteMbps[2] <= 0 {
 		t.Fatalf("remote domain made no progress outside the outage: %+v", res.RemoteMbps)

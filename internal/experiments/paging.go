@@ -53,6 +53,14 @@ type PagingOptions struct {
 	// Telemetry enables the observability registry (fault spans, metric
 	// series) and starts the QoS-crosstalk monitor on the system.
 	Telemetry bool
+	// Timeline (implies Telemetry) starts the time-series recorder for the
+	// measured window and adds a deterministic revocation episode — a hog
+	// domain holding optimistic frames is revoked from mid-measure — so the
+	// exported timeline always contains revocation-phase audit events. It
+	// perturbs the workload, so it is off for golden/figure runs.
+	Timeline bool
+	// Recorder overrides the recorder defaults when Timeline is set.
+	Recorder obs.RecorderConfig
 	// SnapshotEvery, with Telemetry, invokes OnSnapshot at this period of
 	// simulated time during the measured window — nemesis-top uses it to
 	// render periodic per-domain tables.
@@ -110,6 +118,9 @@ func (r *PagingResult) Ratios() []float64 {
 
 // RunPaging executes a Fig. 7/8-style experiment.
 func RunPaging(opt PagingOptions) (*PagingResult, error) {
+	if opt.Timeline {
+		opt.Telemetry = true
+	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = opt.Seed
 	cfg.MemoryFrames = 2048 // 16 MB: ample, contention is per-contract
@@ -161,6 +172,13 @@ func RunPaging(opt PagingOptions) (*PagingResult, error) {
 	}
 	res.MeasureStart = sys.Sim.Now().Duration()
 
+	if opt.Timeline {
+		sys.StartRecorder(opt.Recorder)
+		if err := startRevocationEpisode(sys, opt.Measure/2); err != nil {
+			return nil, err
+		}
+	}
+
 	if opt.Telemetry && opt.SnapshotEvery > 0 && opt.OnSnapshot != nil {
 		for remaining := opt.Measure; remaining > 0; {
 			step := opt.SnapshotEvery
@@ -209,6 +227,11 @@ type Fig9Options struct {
 	Measure     time.Duration
 	SampleEvery time.Duration
 	Seed        int64
+	// Timeline enables telemetry plus the time-series recorder on the
+	// contended run, exposing it as Fig9Result.ContendedSys for export.
+	Timeline bool
+	// Recorder overrides the recorder defaults when Timeline is set.
+	Recorder obs.RecorderConfig
 }
 
 // DefaultFig9Options returns the paper's parameters.
@@ -235,6 +258,9 @@ type Fig9Result struct {
 	AloneSeries, ContendedSeries *trace.Series
 	// PagerMbps is the pagers' bandwidth in the contended run.
 	PagerMbps []float64
+	// ContendedSys is the contended run's system when Fig9Options.Timeline
+	// is set (for timeline export), nil otherwise.
+	ContendedSys *core.System
 }
 
 // Isolation returns the contended/alone throughput ratio (1.0 = perfect).
@@ -259,6 +285,7 @@ func RunFig9(opt Fig9Options) (*Fig9Result, error) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = opt.Seed
 		cfg.MemoryFrames = 2048
+		cfg.Telemetry = opt.Timeline && withPagers
 		sys := core.New(cfg)
 		// FS data lives on the first quarter of the disk; swap files are
 		// in the second half (DefaultConfig's partition).
@@ -285,6 +312,10 @@ func RunFig9(opt Fig9Options) (*Fig9Result, error) {
 				}
 				pagers = append(pagers, pg)
 			}
+		}
+		if opt.Timeline && withPagers {
+			sys.StartRecorder(opt.Recorder)
+			res.ContendedSys = sys
 		}
 		sys.Run(opt.Measure)
 		fc.Stop()

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"time"
+
+	"nemesis/internal/atropos"
+	"nemesis/internal/core"
+	"nemesis/internal/domain"
+	"nemesis/internal/mem"
+	"nemesis/internal/vm"
+)
+
+// startRevocationEpisode adds a deterministic revocation episode to a
+// telemetry run: a "hog" domain acquires optimistic frames (some dirty, some
+// left unused as transparent-revocation fodder), and a revocation round is
+// directed at it after the given delay. The exported timeline then always
+// carries the full revoke.begin → transparent → intrusive → complete audit
+// sequence, whatever the main workload does.
+func startRevocationEpisode(sys *core.System, after time.Duration) error {
+	cpuQ := atropos.QoS{P: 100 * time.Millisecond, S: 10 * time.Millisecond, X: true}
+	diskQ := atropos.QoS{P: 250 * time.Millisecond, S: 20 * time.Millisecond, L: 10 * time.Millisecond}
+	hog, err := sys.NewDomain("hog", cpuQ, mem.Contract{Guaranteed: 4, Optimistic: 24})
+	if err != nil {
+		return err
+	}
+	st, _, err := sys.NewPagedStretch(hog, 24*vm.PageSize, 96*vm.PageSize, diskQ)
+	if err != nil {
+		return err
+	}
+	hog.Go("main", func(t *domain.Thread) {
+		// Dirty 12 pages (optimistic frames the hog must clean to swap
+		// under intrusive revocation), then park 4 unused frames on top of
+		// the stack for the transparent phase.
+		if err := t.Touch(st.Base(), 12*vm.PageSize, vm.AccessWrite); err != nil {
+			return
+		}
+		_ = core.PreallocateFrames(t, 4)
+	})
+	hogID := hog.ID()
+	sys.Sim.After(after, func() {
+		// 8 frames: the 4 unused ones go transparently, the rest forces
+		// the intrusive phase (notification, cleaning, completion).
+		_ = sys.Frames.RequestRevocation(hogID, 8)
+	})
+	return nil
+}

@@ -126,6 +126,10 @@ type Client struct {
 	pendingTimer    sim.Timer
 	killed          bool
 
+	// label names this client in telemetry and the audit log ("dom<id>"
+	// until the system facade renames it to the domain's name).
+	label string
+
 	// Telemetry handles (nil when disabled).
 	gHeld      *obs.Gauge
 	gStack     *obs.Gauge
@@ -139,9 +143,10 @@ func (c *Client) initTelemetry(label string) {
 	c.hAllocWait = c.fa.obs.Histogram("frames", "alloc_wait", label)
 }
 
-// SetTelemetryName relabels the client's metrics (the allocator only knows
-// domain IDs; the system facade knows names).
+// SetTelemetryName relabels the client's metrics and audit-log entries (the
+// allocator only knows domain IDs; the system facade knows names).
 func (c *Client) SetTelemetryName(name string) {
+	c.label = name
 	if c.fa.obs == nil {
 		return
 	}
@@ -168,9 +173,10 @@ func (fa *FramesAllocator) Admit(domain DomainID, ct Contract, h RevocationHandl
 		return nil, fmt.Errorf("%w: %d + %d > %d frames", ErrOverbooked,
 			fa.GuaranteedTotal(), ct.Guaranteed, fa.store.NFrames())
 	}
-	c := &Client{fa: fa, domain: domain, contract: ct, handler: h}
+	c := &Client{fa: fa, domain: domain, contract: ct, handler: h,
+		label: fmt.Sprintf("dom%d", domain)}
 	if fa.obs != nil {
-		c.initTelemetry(fmt.Sprintf("dom%d", domain))
+		c.initTelemetry(c.label)
 	}
 	fa.clients[domain] = c
 	return c, nil
@@ -269,7 +275,7 @@ func (c *Client) AllocFrame(p *sim.Proc) (PFN, error) {
 		if c.n >= c.contract.Guaranteed {
 			return 0, err // optimistic request: no safety net
 		}
-		c.fa.ensureRevocation()
+		c.fa.ensureRevocation(c)
 		// Transparent revocation frees frames synchronously — retry
 		// before sleeping so the wakeup is not lost.
 		if pfn, err := c.TryAllocFrame(); err == nil {
@@ -437,12 +443,20 @@ func (fa *FramesAllocator) pickVictim() *Client {
 	return victim
 }
 
-// ensureRevocation starts a revocation round if none is running.
-func (fa *FramesAllocator) ensureRevocation() {
+// ensureRevocation starts a revocation round if none is running. requester
+// is the within-guarantee client whose allocation found memory exhausted —
+// a guarantee violation the audit log records against the over-guarantee
+// holder about to be revoked from.
+func (fa *FramesAllocator) ensureRevocation(requester *Client) {
 	victim := fa.pickVictim()
 	if victim == nil {
 		return // nothing revocable; guarantees invariant says this cannot
 		// happen for a within-guarantee request, but be safe
+	}
+	if requester != nil && victim != requester {
+		fa.obs.Audit(obs.AuditGuaranteeViolation, victim.label, requester.label,
+			int(victim.n-victim.contract.Guaranteed),
+			"within-guarantee allocation found memory exhausted")
 	}
 	// Revoke a single frame per round; rounds repeat as needed.
 	fa.revokeFrom(victim, 1)
@@ -474,14 +488,18 @@ func (fa *FramesAllocator) revokeFrom(victim *Client, k int) {
 		return
 	}
 	fa.revoking = true
+	fa.obs.Audit(obs.AuditRevokeBegin, victim.label, "", k, "")
 
 	// Transparent revocation: if the top of the victim's stack is unused,
 	// reclaim it without troubling the application.
-	if got := fa.reclaimTopUnused(victim, k); got >= k {
-		fa.cTransparent.Inc()
-		fa.revoking = false
-		return
-	} else {
+	if got := fa.reclaimTopUnused(victim, k); got > 0 {
+		fa.obs.Audit(obs.AuditRevokeTransparent, victim.label, "", got, "")
+		if got >= k {
+			fa.cTransparent.Inc()
+			fa.obs.Audit(obs.AuditRevokeComplete, victim.label, "", got, "transparent")
+			fa.revoking = false
+			return
+		}
 		k -= got
 	}
 
@@ -491,6 +509,8 @@ func (fa *FramesAllocator) revokeFrom(victim *Client, k int) {
 	victim.pendingDeadline = deadline
 	victim.pendingSince = fa.sim.Now()
 	victim.pendingTimer = fa.sim.At(deadline, func() { fa.revocationTimeout(victim) })
+	fa.obs.Audit(obs.AuditRevokeIntrusive, victim.label, "", k,
+		fmt.Sprintf("deadline %.1fms", deadline.Milliseconds()))
 	if victim.handler != nil {
 		victim.handler.RevokeNotification(k, deadline)
 	}
@@ -540,6 +560,8 @@ func (c *Client) RevocationComplete() {
 	fa.hRevoke.Observe(fa.sim.Now().Sub(c.pendingSince))
 	if fa.reclaimTopUnused(c, k) < k {
 		fa.kill(c)
+	} else {
+		fa.obs.Audit(obs.AuditRevokeComplete, c.label, "", k, "intrusive")
 	}
 	fa.revoking = false
 }
@@ -551,6 +573,7 @@ func (fa *FramesAllocator) revocationTimeout(victim *Client) {
 	}
 	victim.pendingK = 0
 	fa.cTimeouts.Inc()
+	fa.obs.Audit(obs.AuditRevokeTimeout, victim.label, "", 0, "revocation deadline passed")
 	fa.kill(victim)
 	fa.revoking = false
 }
@@ -559,6 +582,7 @@ func (fa *FramesAllocator) revocationTimeout(victim *Client) {
 // system so the domain itself can be destroyed.
 func (fa *FramesAllocator) kill(c *Client) {
 	c.killed = true
+	fa.obs.Audit(obs.AuditRevokeKill, c.label, "", int(c.n), "non-compliant revocation")
 	for _, pfn := range fa.ramtab.OwnedBy(c.domain) {
 		// Force release regardless of state: the domain is dead.
 		fa.ramtab.entries[pfn] = ramtabEntry{}

@@ -80,14 +80,17 @@ type TieredStats struct {
 // paging QoS through a remote outage — and only a fault on a page whose sole
 // copy is remote ever stalls, on the faulting domain's own process.
 type TieredBacking struct {
-	s      *sim.Simulator
-	local  *stretchdrv.SwapBacking
-	remote *RemoteBacking
-	opt    TieredOptions
+	s       *sim.Simulator
+	reg     *obs.Registry
+	domName string
+	local   *stretchdrv.SwapBacking
+	remote  *RemoteBacking
+	opt     TieredOptions
 
 	misses        int
 	degraded      bool
 	degradedUntil sim.Time
+	probing       bool // cooldown expired; next remote success restores
 
 	Stats TieredStats
 
@@ -101,6 +104,8 @@ func NewTieredBacking(s *sim.Simulator, reg *obs.Registry, local *stretchdrv.Swa
 	opt.fillDefaults()
 	return &TieredBacking{
 		s:            s,
+		reg:          reg,
+		domName:      domName,
 		local:        local,
 		remote:       remote,
 		opt:          opt,
@@ -138,7 +143,9 @@ func (t *TieredBacking) degradedNow() bool {
 		// Cooldown over: probe the remote again.
 		t.degraded = false
 		t.misses = 0
+		t.probing = true
 		t.gDegraded.Set(0)
+		t.reg.Audit(obs.AuditNetswapProbe, t.domName, "", 0, "cooldown expired")
 	}
 	return t.degraded
 }
@@ -148,6 +155,10 @@ func (t *TieredBacking) noteRemote(start sim.Time, err error) {
 	miss := err != nil || t.s.Now().Sub(start) > t.opt.Deadline
 	if !miss {
 		t.misses = 0
+		if t.probing {
+			t.probing = false
+			t.reg.Audit(obs.AuditNetswapRestore, t.domName, "", 0, "remote healthy again")
+		}
 		return
 	}
 	t.Stats.DeadlineMisses++
@@ -158,6 +169,7 @@ func (t *TieredBacking) noteRemote(start sim.Time, err error) {
 		t.Stats.DegradedEntries++
 		t.cDegraded.Inc()
 		t.gDegraded.Set(1)
+		t.reg.Audit(obs.AuditNetswapDegrade, t.domName, "", 0, "deadline budget exhausted")
 	}
 }
 

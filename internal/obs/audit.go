@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"nemesis/internal/sim"
+)
+
+// AuditKind names one class of QoS-relevant state transition. The audit log
+// is the structured, sim-timestamped record of every moment the system's
+// service contracts were contested: guarantee violations, the phases of the
+// frame-revocation protocol, netswap degradation, and crosstalk flags. It is
+// what experiments assert on ("zero crosstalk" = no qos.* events) and what
+// the timeline export renders as instant events.
+type AuditKind string
+
+const (
+	// AuditGuaranteeViolation: a within-guarantee allocation found memory
+	// exhausted while another domain held frames above its guarantee —
+	// Domain is the over-guarantee holder, Other the starved requester.
+	AuditGuaranteeViolation AuditKind = "qos.violation"
+	// AuditCrosstalk mirrors a crosstalk-monitor flag: Domain is the
+	// victim whose progress collapsed, Other the suspect whose fault rate
+	// surged in the same window.
+	AuditCrosstalk AuditKind = "qos.crosstalk"
+
+	// Revocation-protocol phases (Domain is the victim; Frames is k).
+	AuditRevokeBegin       AuditKind = "revoke.begin"
+	AuditRevokeTransparent AuditKind = "revoke.transparent"
+	AuditRevokeIntrusive   AuditKind = "revoke.intrusive"
+	AuditRevokeComplete    AuditKind = "revoke.complete"
+	AuditRevokeTimeout     AuditKind = "revoke.timeout"
+	AuditRevokeKill        AuditKind = "revoke.kill"
+
+	// Netswap tiered-backing transitions (Domain is the paging domain).
+	AuditNetswapDegrade AuditKind = "net.degrade"
+	AuditNetswapProbe   AuditKind = "net.probe"
+	AuditNetswapRestore AuditKind = "net.restore"
+)
+
+// AuditEvent is one entry of the audit log.
+type AuditEvent struct {
+	At     sim.Time  `json:"at_ns"`
+	Kind   AuditKind `json:"kind"`
+	Domain string    `json:"domain,omitempty"` // primary domain
+	Other  string    `json:"other,omitempty"`  // counterpart, if any
+	Frames int       `json:"frames,omitempty"` // frame count, if relevant
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Audit appends an event stamped with the current simulated time. Safe on a
+// nil registry (telemetry disabled): the event is discarded.
+func (r *Registry) Audit(kind AuditKind, domain, other string, frames int, detail string) {
+	if r == nil {
+		return
+	}
+	r.audit = append(r.audit, AuditEvent{
+		At:     r.now(),
+		Kind:   kind,
+		Domain: domain,
+		Other:  other,
+		Frames: frames,
+		Detail: detail,
+	})
+}
+
+// AuditLog returns all audit events recorded so far, oldest first.
+func (r *Registry) AuditLog() []AuditEvent {
+	if r == nil {
+		return nil
+	}
+	return r.audit
+}
+
+// AuditByKind returns the recorded events of one kind, oldest first.
+func (r *Registry) AuditByKind(kind AuditKind) []AuditEvent {
+	if r == nil {
+		return nil
+	}
+	var out []AuditEvent
+	for _, e := range r.audit {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteAuditTSV renders the audit log as TSV, oldest first.
+func (r *Registry) WriteAuditTSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "at_ms\tkind\tdomain\tother\tframes\tdetail"); err != nil {
+		return err
+	}
+	for _, e := range r.audit {
+		if _, err := fmt.Fprintf(w, "%.3f\t%s\t%s\t%s\t%d\t%s\n",
+			e.At.Milliseconds(), e.Kind, e.Domain, e.Other, e.Frames, e.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -86,6 +86,9 @@ func (r *Registry) addFlag(f Flag) {
 		return
 	}
 	r.flags = append(r.flags, f)
+	r.Audit(AuditCrosstalk, f.Victim, f.Suspect, 0,
+		fmt.Sprintf("victim %.1f/s (base %.1f/s), suspect faults %.1f/s (base %.1f/s)",
+			f.VictimRate, f.VictimBaseline, f.SuspectRate, f.SuspectBaseline))
 }
 
 // Flags returns all crosstalk flags recorded so far.
@@ -139,6 +142,7 @@ type CrosstalkMonitor struct {
 	timer   sim.Timer
 	running bool
 	ticks   int64
+	lastAt  sim.Time // instant of the last completed sample
 }
 
 // NewCrosstalkMonitor builds a monitor; call Start to begin sampling. The
@@ -161,16 +165,30 @@ func (m *CrosstalkMonitor) Start() {
 		return
 	}
 	m.running = true
+	m.lastAt = m.s.Now()
 	m.timer = m.s.After(m.cfg.Period, m.tick)
 }
 
-// Stop cancels future sampling.
+// Stop cancels future sampling and flushes the trailing partial window, so
+// activity between the last full tick and run end is still rated and can
+// still raise flags (previously it was silently dropped).
 func (m *CrosstalkMonitor) Stop() {
 	if m == nil || !m.running {
 		return
 	}
 	m.running = false
 	m.timer.Stop()
+	m.flush()
+}
+
+// flush processes the partial window between the last completed sample and
+// now. A zero-length window is skipped (nothing elapsed to rate).
+func (m *CrosstalkMonitor) flush() {
+	elapsed := m.s.Now().Sub(m.lastAt)
+	if elapsed <= 0 {
+		return
+	}
+	m.sampleWindow(elapsed.Seconds())
 }
 
 // Ticks returns how many sampling windows have completed.
@@ -214,9 +232,18 @@ func (m *CrosstalkMonitor) tick() {
 	if !m.running {
 		return
 	}
+	m.sampleWindow(m.cfg.Period.Seconds())
+	if m.running {
+		m.timer = m.s.After(m.cfg.Period, m.tick)
+	}
+}
+
+// sampleWindow closes one sampling window of the given length (normally a
+// full period; the trailing flush passes the partial remainder).
+func (m *CrosstalkMonitor) sampleWindow(secs float64) {
 	samples, pressure := m.sample()
-	secs := m.cfg.Period.Seconds()
 	m.ticks++
+	m.lastAt = m.s.Now()
 
 	m.reg.Gauge("crosstalk", "free_frames", "").Set(int64(pressure.FreeFrames))
 
@@ -295,7 +322,7 @@ func (m *CrosstalkMonitor) tick() {
 		s := rates[best]
 		m.reg.addFlag(Flag{
 			At:              m.reg.Now(),
-			Window:          m.cfg.Period,
+			Window:          time.Duration(secs * float64(time.Second)),
 			Victim:          v.name,
 			Suspect:         s.name,
 			VictimRate:      v.progressRate,
@@ -305,9 +332,5 @@ func (m *CrosstalkMonitor) tick() {
 			FreeFrames:      pressure.FreeFrames,
 		})
 		m.reg.Counter("crosstalk", "flags", v.name).Inc()
-	}
-
-	if m.running {
-		m.timer = m.s.After(m.cfg.Period, m.tick)
 	}
 }

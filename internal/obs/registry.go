@@ -69,7 +69,12 @@ type Registry struct {
 	spanTotal int64   // spans ever recorded
 	freeSpans []*Span // recycled spans evicted from the ring
 
+	// cEvicted counts spans recycled out of the ring; created lazily on
+	// the first eviction so short runs export no empty series.
+	cEvicted *Counter
+
 	flags []Flag
+	audit []AuditEvent
 }
 
 // NewRegistry creates a registry reading time from now.
@@ -160,6 +165,15 @@ func (r *Registry) LookupCounter(subsystem, name, domain string) *Counter {
 		return nil
 	}
 	return r.counters[Key{subsystem, name, domain}]
+}
+
+// LookupGauge returns the gauge for key, or nil if it has never been
+// created.
+func (r *Registry) LookupGauge(subsystem, name, domain string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.gauges[Key{subsystem, name, domain}]
 }
 
 // LookupHistogram returns the histogram for key, or nil if it has never
@@ -485,6 +499,7 @@ type snapshot struct {
 	Hops      []HopSummary `json:"fault_hops"`
 	Spans     []spanExport `json:"recent_spans"`
 	Crosstalk []Flag       `json:"crosstalk_flags"`
+	Audit     []AuditEvent `json:"audit_log"`
 }
 
 // WriteJSON renders the full registry state — metrics, per-hop fault
@@ -500,6 +515,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		Hops:      r.HopSummaries(),
 		Spans:     r.exportSpans(),
 		Crosstalk: r.flags,
+		Audit:     r.audit,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

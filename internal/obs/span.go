@@ -241,6 +241,19 @@ func (r *Registry) recordSpan(s *Span) {
 	r.spans[r.spanHead] = s
 	r.spanHead = (r.spanHead + 1) % r.spanCap
 	r.freeSpans = append(r.freeSpans, old)
+	if r.cEvicted == nil {
+		r.cEvicted = r.Counter("obs", "spans_evicted", "")
+	}
+	r.cEvicted.Inc()
+}
+
+// SpansEvicted returns how many finished spans the ring has recycled out
+// from under consumers (zero until the ring first overflows).
+func (r *Registry) SpansEvicted() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.cEvicted.Value()
 }
 
 // Spans returns the retained finished spans, oldest first.

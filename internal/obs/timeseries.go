@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"time"
+
+	"nemesis/internal/sim"
+)
+
+// RecorderConfig sizes a time-series Recorder.
+type RecorderConfig struct {
+	// Interval is the sampling period (simulated time). Default 100 ms.
+	Interval time.Duration
+	// Cap bounds how many samples each track retains (ring-buffered;
+	// older samples are overwritten). Default 4096.
+	Cap int
+}
+
+// DefaultRecorderConfig returns the documented defaults.
+func DefaultRecorderConfig() RecorderConfig {
+	return RecorderConfig{Interval: 100 * time.Millisecond, Cap: 4096}
+}
+
+func (c *RecorderConfig) fillDefaults() {
+	d := DefaultRecorderConfig()
+	if c.Interval <= 0 {
+		c.Interval = d.Interval
+	}
+	if c.Cap < 1 {
+		c.Cap = d.Cap
+	}
+}
+
+// Track is one recorded series: a level (gauge) or a per-second rate derived
+// from a cumulative counter, sampled every Recorder interval. Tracks that
+// share a Group render as one multi-series counter track in the timeline
+// export ("frames" with held/guarantee/optimistic series); ungrouped tracks
+// stand alone under Name.
+type Track struct {
+	Name   string // series name (unique within (Group, Domain))
+	Group  string // optional counter-track the series belongs to
+	Domain string // owning domain ("" = system)
+	Unit   string // display unit ("frames", "per_s", ...)
+	Rate   bool   // per-second derivative of a cumulative source
+
+	read    func() int64
+	values  []float64 // ring, allocated once at registration
+	prevRaw int64
+}
+
+// Recorder periodically snapshots its registered tracks on the simulated
+// clock. All rings are allocated at registration and every sample is written
+// in place, so the per-tick path allocates nothing; and because ticks are
+// simulator events, the recorded series of a deterministic run are
+// byte-identical however the run is scheduled (serial or inside a parallel
+// sweep, each cell owns its simulator).
+type Recorder struct {
+	reg *Registry
+	s   *sim.Simulator
+	cfg RecorderConfig
+
+	tracks []*Track
+	times  []sim.Time // shared sample-instant ring
+	head   int        // next overwrite position once full
+	n      int        // samples retained (<= cfg.Cap)
+	total  int64      // samples ever taken
+
+	timer   sim.Timer
+	running bool
+}
+
+// NewRecorder builds a recorder sampling reg's world on simulator s. A nil
+// registry yields a nil recorder, whose methods are all no-ops.
+func NewRecorder(reg *Registry, s *sim.Simulator, cfg RecorderConfig) *Recorder {
+	if reg == nil || s == nil {
+		return nil
+	}
+	cfg.fillDefaults()
+	return &Recorder{
+		reg:   reg,
+		s:     s,
+		cfg:   cfg,
+		times: make([]sim.Time, 0, cfg.Cap),
+	}
+}
+
+// Config returns the recorder's (default-filled) configuration.
+func (rc *Recorder) Config() RecorderConfig {
+	if rc == nil {
+		return RecorderConfig{}
+	}
+	return rc.cfg
+}
+
+// track registers a series. Registration after Start is allowed (a domain
+// admitted mid-run): samples taken before the track existed read as zero.
+func (rc *Recorder) track(group, name, domain, unit string, rate bool, read func() int64) *Track {
+	if rc == nil || read == nil {
+		return nil
+	}
+	t := &Track{
+		Name:   name,
+		Group:  group,
+		Domain: domain,
+		Unit:   unit,
+		Rate:   rate,
+		read:   read,
+		values: make([]float64, len(rc.times), rc.cfg.Cap),
+	}
+	if rate && rc.running {
+		t.prevRaw = read()
+	}
+	rc.tracks = append(rc.tracks, t)
+	return t
+}
+
+// TrackGauge registers a level series read from fn at every sample instant.
+// group may be "" for a standalone track. Safe on a nil recorder.
+func (rc *Recorder) TrackGauge(group, name, domain, unit string, fn func() int64) *Track {
+	return rc.track(group, name, domain, unit, false, fn)
+}
+
+// TrackRate registers a per-second rate series derived from the cumulative
+// value fn returns (faults/s, bytes/s). The first sample after Start is the
+// rate over the first interval.
+func (rc *Recorder) TrackRate(group, name, domain, unit string, fn func() int64) *Track {
+	return rc.track(group, name, domain, unit, true, fn)
+}
+
+// Tracks returns the registered tracks in registration order.
+func (rc *Recorder) Tracks() []*Track {
+	if rc == nil {
+		return nil
+	}
+	return rc.tracks
+}
+
+// Start seeds the rate baselines and schedules the first sample one interval
+// from now. Safe on a nil recorder.
+func (rc *Recorder) Start() {
+	if rc == nil || rc.running {
+		return
+	}
+	rc.running = true
+	for _, t := range rc.tracks {
+		if t.Rate {
+			t.prevRaw = t.read()
+		}
+	}
+	rc.timer = rc.s.After(rc.cfg.Interval, rc.tick)
+}
+
+// Stop cancels future sampling. Retained samples stay readable.
+func (rc *Recorder) Stop() {
+	if rc == nil || !rc.running {
+		return
+	}
+	rc.running = false
+	rc.timer.Stop()
+}
+
+// Samples returns how many sample instants are currently retained.
+func (rc *Recorder) Samples() int {
+	if rc == nil {
+		return 0
+	}
+	return rc.n
+}
+
+// Total returns how many sample instants were ever taken (including those
+// the ring has dropped).
+func (rc *Recorder) Total() int64 {
+	if rc == nil {
+		return 0
+	}
+	return rc.total
+}
+
+// tick takes one sample of every track. The rings are pre-sized, so this
+// path performs no allocation.
+func (rc *Recorder) tick() {
+	if !rc.running {
+		return
+	}
+	now := rc.s.Now()
+	secs := rc.cfg.Interval.Seconds()
+	if rc.n < rc.cfg.Cap {
+		rc.times = append(rc.times, now)
+		for _, t := range rc.tracks {
+			t.values = append(t.values, t.sample(secs))
+		}
+		rc.n++
+	} else {
+		rc.times[rc.head] = now
+		for _, t := range rc.tracks {
+			t.values[rc.head] = t.sample(secs)
+		}
+		rc.head = (rc.head + 1) % rc.cfg.Cap
+	}
+	rc.total++
+	rc.timer = rc.s.After(rc.cfg.Interval, rc.tick)
+}
+
+// sample reads the track's current value (level, or rate over secs).
+func (t *Track) sample(secs float64) float64 {
+	raw := t.read()
+	if !t.Rate {
+		return float64(raw)
+	}
+	v := float64(raw-t.prevRaw) / secs
+	t.prevRaw = raw
+	return v
+}
+
+// Times returns the retained sample instants, oldest first (a copy).
+func (rc *Recorder) Times() []sim.Time {
+	if rc == nil {
+		return nil
+	}
+	out := make([]sim.Time, 0, rc.n)
+	out = append(out, rc.times[rc.head:rc.n]...)
+	out = append(out, rc.times[:rc.head]...)
+	return out
+}
+
+// Values returns t's retained samples, oldest first (a copy), aligned with
+// Times.
+func (rc *Recorder) Values(t *Track) []float64 {
+	if rc == nil || t == nil {
+		return nil
+	}
+	out := make([]float64, 0, rc.n)
+	out = append(out, t.values[rc.head:rc.n]...)
+	out = append(out, t.values[:rc.head]...)
+	return out
+}

@@ -137,6 +137,16 @@ func (u *USD) Disk() *disk.Disk { return u.disk }
 // Contracted returns the admitted fraction of disk time.
 func (u *USD) Contracted() float64 { return u.core.Contracted() }
 
+// QueuedRequests returns the total number of requests pending across every
+// client channel — the USD queue depth the timeline recorder samples.
+func (u *USD) QueuedRequests() int {
+	total := 0
+	for _, name := range u.order {
+		total += u.clients[name].ch.Pending()
+	}
+	return total
+}
+
 // Open admits a client with contract q and returns its IO channel with the
 // given pipeline depth. Admission control rejects aggregate guarantees
 // exceeding the whole disk.
