@@ -15,7 +15,8 @@ race:
 
 # Run every benchmark once and compare against the committed baseline.
 # Wall-clock (ns/op) and allocation deltas are informational; deterministic
-# simulated-time metrics (sim_us*) fail the run if they drift >10%.
+# simulated-time metrics (sim_us*, sim_attr_us*) fail the run if they
+# drift >10%.
 bench:
 	$(GO) test $(BENCHFLAGS) ./... | tee bench.out
 	$(GO) run ./cmd/benchcmp -baseline $(BASELINE) -fail-over 10 bench.out

@@ -6,6 +6,7 @@
 //	BenchmarkTable1*          sim_us_per_op — Table 1 micro-benchmarks
 //	BenchmarkFig7PagingIn     mbps_* and ratio_* — Fig. 7
 //	BenchmarkFig8PagingOut    mbps_* and txn_ms — Fig. 8
+//	BenchmarkFig8Attribution  sim_attr_us_* — the hog's exact time breakdown
 //	BenchmarkFig9Isolation    isolation — Fig. 9
 //	BenchmarkAblation*        the A1–A5 ablations from DESIGN.md
 //
@@ -15,10 +16,12 @@ package nemesis
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
 	"nemesis/internal/experiments"
+	"nemesis/internal/obs"
 )
 
 // table1Rows runs the micro-benchmarks once per call.
@@ -113,6 +116,31 @@ func BenchmarkFig8PagingOut(b *testing.B) {
 	if n > 0 {
 		b.ReportMetric(sum/float64(n)*1e3, "txn_ms")
 	}
+}
+
+func BenchmarkFig8Attribution(b *testing.B) {
+	b.ReportAllocs()
+	var last *experiments.AttributionResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunAttribution(experiments.AttributionOptions{
+			Fig: 8, Hog: true, Measure: 8 * time.Second, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	// The hog's exact time breakdown: deterministic sim metrics, so any
+	// drift means the attribution or the scheduler changed behaviour.
+	hog, ok := last.ProfileFor("hog-5%")
+	if !ok {
+		b.Fatal("hog profile missing")
+	}
+	for _, st := range obs.AttrStates {
+		b.ReportMetric(float64(hog.Total(st).Microseconds()),
+			"sim_attr_us_"+strings.ReplaceAll(st.String(), "-", "_"))
+	}
+	b.ReportMetric(float64(hog.Elapsed().Microseconds()), "sim_attr_us_elapsed")
 }
 
 func BenchmarkFig9Isolation(b *testing.B) {

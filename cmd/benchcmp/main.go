@@ -2,9 +2,10 @@
 // baseline (BENCH_BASELINE.json), in the spirit of benchstat but with no
 // external dependencies and a gate suited to a deterministic simulator:
 //
-//   - Metrics whose unit matches -gate (default "sim_us") are simulated-time
-//     results. They are deterministic — any drift beyond -fail-over percent
-//     means the simulation's behaviour changed, and the comparison fails.
+//   - Metrics whose unit matches -gate (default "sim_us|sim_attr") are
+//     simulated-time results. They are deterministic — any drift beyond
+//     -fail-over percent means the simulation's behaviour changed, and the
+//     comparison fails.
 //   - Wall-clock results (ns/op) and allocation counts (B/op, allocs/op)
 //     are reported informationally; they vary with hardware and load, so
 //     they never fail the comparison by default. Use -fail-allocs to also
@@ -93,12 +94,80 @@ func pctDelta(old, new float64) float64 {
 	return (new - old) / old * 100
 }
 
+// compare renders the comparison table to w and returns the gate failures:
+// baseline benchmarks missing from the input, gated metrics drifted beyond
+// failOver percent (including metrics that vanished — they read as zero),
+// and, when failAllocs is set, allocs/op growth. Benchmarks or gated metrics
+// that are new (absent from the baseline) are noted but never fail.
+func compare(w io.Writer, base Baseline, current map[string]Result, gateRe *regexp.Regexp, failOver float64, failAllocs bool) []string {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	fmt.Fprintf(w, "%-36s %14s %14s %14s\n", "benchmark", "ns/op Δ%", "allocs/op Δ%", "gated")
+	for _, name := range names {
+		old := base.Benchmarks[name]
+		cur, ok := current[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from input", name))
+			continue
+		}
+		gated := "-"
+		units := make([]string, 0, len(old.Metrics))
+		for unit := range old.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			if !gateRe.MatchString(unit) {
+				continue
+			}
+			d := pctDelta(old.Metrics[unit], cur.Metrics[unit])
+			gated = fmt.Sprintf("%s %+.1f%%", unit, d)
+			if d > failOver || d < -failOver {
+				failures = append(failures, fmt.Sprintf("%s: %s drifted %+.1f%% (%.4g -> %.4g); deterministic sim metric, behaviour changed",
+					name, unit, d, old.Metrics[unit], cur.Metrics[unit]))
+			}
+		}
+		curUnits := make([]string, 0, len(cur.Metrics))
+		for unit := range cur.Metrics {
+			curUnits = append(curUnits, unit)
+		}
+		sort.Strings(curUnits)
+		for _, unit := range curUnits {
+			if _, ok := old.Metrics[unit]; !ok && gateRe.MatchString(unit) {
+				fmt.Fprintf(w, "# new gated metric (not in baseline): %s %s\n", name, unit)
+			}
+		}
+		allocD := pctDelta(old.AllocsPerOp, cur.AllocsPerOp)
+		if failAllocs && allocD > failOver {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op grew %+.1f%% (%.0f -> %.0f)",
+				name, allocD, old.AllocsPerOp, cur.AllocsPerOp))
+		}
+		fmt.Fprintf(w, "%-36s %+13.1f%% %+13.1f%% %14s\n", name, pctDelta(old.NsPerOp, cur.NsPerOp), allocD, gated)
+	}
+	newNames := make([]string, 0, len(current))
+	for name := range current {
+		if _, ok := base.Benchmarks[name]; !ok {
+			newNames = append(newNames, name)
+		}
+	}
+	sort.Strings(newNames)
+	for _, name := range newNames {
+		fmt.Fprintf(w, "# new benchmark (not in baseline): %s\n", name)
+	}
+	return failures
+}
+
 func main() {
 	log.SetFlags(0)
 	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against")
 	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
 	failOver := flag.Float64("fail-over", 10, "fail when a gated metric drifts more than this percent")
-	gate := flag.String("gate", "sim_us", "regexp: metric units to gate (deterministic simulated-time results)")
+	gate := flag.String("gate", "sim_us|sim_attr", "regexp: metric units to gate (deterministic simulated-time results)")
 	failAllocs := flag.Bool("fail-allocs", false, "also gate allocs/op increases beyond -fail-over percent")
 	flag.Parse()
 
@@ -148,51 +217,7 @@ func main() {
 		log.Fatalf("benchcmp: bad -gate: %v", err)
 	}
 
-	names := make([]string, 0, len(base.Benchmarks))
-	for name := range base.Benchmarks {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	var failures []string
-	fmt.Printf("%-36s %14s %14s %14s\n", "benchmark", "ns/op Δ%", "allocs/op Δ%", "gated")
-	for _, name := range names {
-		old := base.Benchmarks[name]
-		cur, ok := current[name]
-		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from input", name))
-			continue
-		}
-		gated := "-"
-		units := make([]string, 0, len(old.Metrics))
-		for unit := range old.Metrics {
-			units = append(units, unit)
-		}
-		sort.Strings(units)
-		for _, unit := range units {
-			if !gateRe.MatchString(unit) {
-				continue
-			}
-			d := pctDelta(old.Metrics[unit], cur.Metrics[unit])
-			gated = fmt.Sprintf("%s %+.1f%%", unit, d)
-			if d > *failOver || d < -*failOver {
-				failures = append(failures, fmt.Sprintf("%s: %s drifted %+.1f%% (%.4g -> %.4g); deterministic sim metric, behaviour changed",
-					name, unit, d, old.Metrics[unit], cur.Metrics[unit]))
-			}
-		}
-		allocD := pctDelta(old.AllocsPerOp, cur.AllocsPerOp)
-		if *failAllocs && allocD > *failOver {
-			failures = append(failures, fmt.Sprintf("%s: allocs/op grew %+.1f%% (%.0f -> %.0f)",
-				name, allocD, old.AllocsPerOp, cur.AllocsPerOp))
-		}
-		fmt.Printf("%-36s %+13.1f%% %+13.1f%% %14s\n", name, pctDelta(old.NsPerOp, cur.NsPerOp), allocD, gated)
-	}
-	for name := range current {
-		if _, ok := base.Benchmarks[name]; !ok {
-			fmt.Printf("# new benchmark (not in baseline): %s\n", name)
-		}
-	}
-
+	failures := compare(os.Stdout, base, current, gateRe, *failOver, *failAllocs)
 	if len(failures) > 0 {
 		fmt.Println()
 		for _, f := range failures {

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+BenchmarkFig7Paging-8   	       1	 123456789 ns/op	       42.5 sim_us_p50	     9000 sim_us_p99	  2048 B/op	      17 allocs/op
+BenchmarkFig8Attribution 	       1	  99999 ns/op	  1500000 sim_attr_us_fault	       0 sim_attr_us_idle
+PASS
+ok  	nemesis	1.234s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	fig7 := got["BenchmarkFig7Paging"]
+	if fig7.NsPerOp != 123456789 || fig7.BytesPerOp != 2048 || fig7.AllocsPerOp != 17 {
+		t.Fatalf("fig7 std fields wrong: %+v", fig7)
+	}
+	if fig7.Metrics["sim_us_p50"] != 42.5 || fig7.Metrics["sim_us_p99"] != 9000 {
+		t.Fatalf("fig7 metrics wrong: %+v", fig7.Metrics)
+	}
+	attr := got["BenchmarkFig8Attribution"]
+	if attr.Metrics["sim_attr_us_fault"] != 1500000 {
+		t.Fatalf("attr metrics wrong: %+v", attr.Metrics)
+	}
+	if attr.Metrics["sim_attr_us_idle"] != 0 {
+		t.Fatalf("zero-valued metric dropped: %+v", attr.Metrics)
+	}
+}
+
+func TestParseBenchBadValue(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("BenchmarkX 1 oops ns/op\n")); err == nil {
+		t.Fatal("accepted a non-numeric field")
+	}
+}
+
+func TestPctDelta(t *testing.T) {
+	for _, tc := range []struct{ old, new, want float64 }{
+		{0, 0, 0},   // both zero: no drift
+		{0, 5, 100}, // new metric from a zero baseline counts as full drift
+		{100, 90, -10},
+		{100, 125, 25},
+	} {
+		if got := pctDelta(tc.old, tc.new); got != tc.want {
+			t.Errorf("pctDelta(%v, %v) = %v, want %v", tc.old, tc.new, got, tc.want)
+		}
+	}
+}
+
+func defaultGate(t *testing.T) *regexp.Regexp {
+	t.Helper()
+	return regexp.MustCompile("sim_us|sim_attr")
+}
+
+func runCompare(t *testing.T, base Baseline, cur map[string]Result) (string, []string) {
+	t.Helper()
+	var sb strings.Builder
+	failures := compare(&sb, base, cur, defaultGate(t), 10, false)
+	return sb.String(), failures
+}
+
+func TestCompareClean(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 100, Metrics: map[string]float64{"sim_us_p50": 1000}},
+	}}
+	cur := map[string]Result{
+		// Wall-clock drift is informational only; sim metric within gate.
+		"BenchmarkA": {NsPerOp: 900, Metrics: map[string]float64{"sim_us_p50": 1050}},
+	}
+	_, failures := runCompare(t, base, cur)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+}
+
+func TestCompareDriftFails(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {Metrics: map[string]float64{"sim_attr_us_fault": 1000}},
+	}}
+	cur := map[string]Result{
+		"BenchmarkA": {Metrics: map[string]float64{"sim_attr_us_fault": 1200}},
+	}
+	_, failures := runCompare(t, base, cur)
+	if len(failures) != 1 || !strings.Contains(failures[0], "sim_attr_us_fault") {
+		t.Fatalf("drifted sim_attr metric not caught: %v", failures)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Result{"BenchmarkGone": {NsPerOp: 1}}}
+	_, failures := runCompare(t, base, map[string]Result{"BenchmarkOther": {NsPerOp: 1}})
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing from input") {
+		t.Fatalf("missing benchmark not caught: %v", failures)
+	}
+}
+
+func TestCompareVanishedMetricFails(t *testing.T) {
+	// A gated metric present in the baseline but absent from the input reads
+	// as zero — that is a -100% drift, not a silent pass.
+	base := Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {Metrics: map[string]float64{"sim_us_p50": 1000}},
+	}}
+	_, failures := runCompare(t, base, map[string]Result{"BenchmarkA": {}})
+	if len(failures) != 1 || !strings.Contains(failures[0], "-100.0%") {
+		t.Fatalf("vanished metric not caught: %v", failures)
+	}
+}
+
+func TestCompareZeroBaselineMetric(t *testing.T) {
+	// 0 -> 0 passes; 0 -> nonzero counts as 100% drift and fails the gate.
+	base := Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {Metrics: map[string]float64{"sim_us_misses": 0}},
+	}}
+	_, failures := runCompare(t, base, map[string]Result{
+		"BenchmarkA": {Metrics: map[string]float64{"sim_us_misses": 0}},
+	})
+	if len(failures) != 0 {
+		t.Fatalf("0 -> 0 should pass: %v", failures)
+	}
+	_, failures = runCompare(t, base, map[string]Result{
+		"BenchmarkA": {Metrics: map[string]float64{"sim_us_misses": 3}},
+	})
+	if len(failures) != 1 {
+		t.Fatalf("0 -> 3 should fail the gate: %v", failures)
+	}
+}
+
+func TestCompareNewEntriesNotedNotFailed(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Result{
+		"BenchmarkA": {Metrics: map[string]float64{"sim_us_p50": 1000}},
+	}}
+	cur := map[string]Result{
+		"BenchmarkA": {Metrics: map[string]float64{
+			"sim_us_p50":        1000,
+			"sim_attr_us_fault": 777, // new gated metric, no baseline yet
+		}},
+		"BenchmarkNew": {NsPerOp: 5},
+	}
+	out, failures := runCompare(t, base, cur)
+	if len(failures) != 0 {
+		t.Fatalf("new entries must not fail: %v", failures)
+	}
+	if !strings.Contains(out, "# new gated metric (not in baseline): BenchmarkA sim_attr_us_fault") {
+		t.Fatalf("new gated metric not noted:\n%s", out)
+	}
+	if !strings.Contains(out, "# new benchmark (not in baseline): BenchmarkNew") {
+		t.Fatalf("new benchmark not noted:\n%s", out)
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Result{"BenchmarkA": {AllocsPerOp: 100}}}
+	cur := map[string]Result{"BenchmarkA": {AllocsPerOp: 150}}
+	var sb strings.Builder
+	if f := compare(&sb, base, cur, defaultGate(t), 10, false); len(f) != 0 {
+		t.Fatalf("allocs must not gate by default: %v", f)
+	}
+	if f := compare(&sb, base, cur, defaultGate(t), 10, true); len(f) != 1 {
+		t.Fatalf("-fail-allocs must gate alloc growth: %v", f)
+	}
+}

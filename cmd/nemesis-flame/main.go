@@ -1,0 +1,145 @@
+// Command nemesis-flame turns the simulator's exact sim-time attribution
+// into flamegraphs: where did every microsecond of every domain's lifetime
+// go — running, waiting for the CPU, blocked under a named fault hop, or
+// idle.
+//
+// Two modes:
+//
+//	run (default): execute the attribution experiment — a scaled Fig. 7 or
+//	Fig. 8 paging run, by default both without and with the 5%-slice hog —
+//	fanned across sweep workers, and write the folded-stack profile
+//	(-o, stacks prefixed by cell name when more than one cell runs) and
+//	optionally a flamegraph SVG (-svg). Output is byte-identical at any
+//	worker count.
+//
+//	-in profile.folded: skip the run and render an existing folded profile
+//	(e.g. from nemesis-paging -simprofile) to the -svg file.
+//
+// The SVG is self-contained (no external tools) and byte-deterministic for
+// a given input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"nemesis/internal/experiments"
+	"nemesis/internal/experiments/sweep"
+	"nemesis/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	fig := flag.Int("fig", 8, "figure workload to profile: 7 (paging in) or 8 (paging out)")
+	cells := flag.String("cells", "base,hog", "comma-separated run cells: base (three contracted apps) and/or hog (plus the 5%-slice hog)")
+	measure := flag.Duration("measure", 8*time.Second, "measured window of simulated time")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "sweep fan-out width (0 = NEMESIS_SWEEP_WORKERS or GOMAXPROCS)")
+	out := flag.String("o", "-", "write the folded-stack profile here (- = stdout)")
+	svgPath := flag.String("svg", "", "render a flamegraph SVG of the profile to this file")
+	in := flag.String("in", "", "render an existing folded profile instead of running (requires -svg)")
+	flag.Parse()
+
+	if *in != "" {
+		if *svgPath == "" {
+			log.Fatal("nemesis-flame: -in needs -svg (nothing else to do with an existing profile)")
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatalf("nemesis-flame: %v", err)
+		}
+		lines, err := obs.ParseFolded(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("nemesis-flame: %v", err)
+		}
+		writeSVG(*svgPath, lines)
+		return
+	}
+
+	folded := runCells(*fig, *cells, *measure, *seed, *workers)
+	if *out == "-" {
+		fmt.Print(folded)
+	} else {
+		writeFile(*out, folded)
+	}
+	if *svgPath != "" {
+		lines, err := obs.ParseFolded(strings.NewReader(folded))
+		if err != nil {
+			log.Fatalf("nemesis-flame: internal: own folded output unparseable: %v", err)
+		}
+		writeSVG(*svgPath, lines)
+	}
+}
+
+// runCells executes the requested attribution cells across sweep workers and
+// returns the concatenated folded profile. With more than one cell, each
+// stack is prefixed with its cell name so the flamegraph nests by cell.
+func runCells(fig int, spec string, measure time.Duration, seed int64, workers int) string {
+	names := strings.Split(spec, ",")
+	for _, n := range names {
+		if n != "base" && n != "hog" {
+			log.Fatalf("nemesis-flame: unknown cell %q (want base or hog)", n)
+		}
+	}
+	if workers <= 0 {
+		workers = sweep.Workers()
+	}
+	prefix := len(names) > 1
+	outs, err := sweep.MapWorkers(workers, names, func(name string) (string, error) {
+		r, err := experiments.RunAttribution(experiments.AttributionOptions{
+			Fig:     fig,
+			Hog:     name == "hog",
+			Measure: measure,
+			Seed:    seed,
+		})
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "# cell %s: fig=%d hog=%v measure=%v seed=%d\n",
+			name, fig, name == "hog", measure, seed)
+		for _, line := range strings.Split(strings.TrimRight(r.Folded, "\n"), "\n") {
+			if prefix {
+				sb.WriteString(name + ";")
+			}
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+		return sb.String(), nil
+	})
+	if err != nil {
+		log.Fatalf("nemesis-flame: %v", err)
+	}
+	return strings.Join(outs, "")
+}
+
+func writeSVG(path string, lines []obs.FoldedLine) {
+	writeRender(path, func(w io.Writer) error { return obs.WriteFlameSVG(w, lines) })
+}
+
+func writeFile(path, content string) {
+	writeRender(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, content)
+		return err
+	})
+}
+
+func writeRender(path string, render func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("nemesis-flame: %v", err)
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		log.Fatalf("nemesis-flame: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("nemesis-flame: %v", err)
+	}
+}

@@ -20,8 +20,12 @@
 //	-timeline-jsonl out.jsonl
 //	         export the compact JSONL timeline dump instead (convert or
 //	         validate with nemesis-timeline)
+//	-simprofile out.folded
+//	         write the exact sim-time attribution profile (figs 7/8) in
+//	         folded-stack form; render it with nemesis-flame -in
 //	-cpuprofile/-memprofile
-//	         write pprof profiles for performance work
+//	         write pprof profiles for performance work; flushed even on
+//	         early-exit errors
 //
 // The top halves of Figs. 7/8 (sustained bandwidth series) print as TSV;
 // summary ratios follow. Use nemesis-trace for the bottom halves.
@@ -36,12 +40,67 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"sync"
 	"time"
 
 	"nemesis/internal/core"
 	"nemesis/internal/experiments"
 	"nemesis/internal/experiments/sweep"
 )
+
+// stopProfiles flushes any active pprof profiles. All error exits go through
+// fatalf/fatal so the profiles survive them — log.Fatalf alone would bypass
+// the deferred flush.
+var stopProfiles = func() {}
+
+func fatalf(format string, args ...any) {
+	stopProfiles()
+	log.Fatalf(format, args...)
+}
+
+func fatal(v ...any) {
+	stopProfiles()
+	log.Fatal(v...)
+}
+
+// startProfiles begins the requested pprof captures and returns an
+// idempotent flush: stop the CPU profile, then collect garbage and write the
+// heap profile, closing both files.
+func startProfiles(cpupath, mempath string) func() {
+	var cpuf *os.File
+	if cpupath != "" {
+		f, err := os.Create(cpupath)
+		if err != nil {
+			fatalf("nemesis-paging: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("nemesis-paging: %v", err)
+		}
+		cpuf = f
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuf != nil {
+				pprof.StopCPUProfile()
+				cpuf.Close()
+			}
+			if mempath == "" {
+				return
+			}
+			f, err := os.Create(mempath)
+			if err != nil {
+				log.Printf("nemesis-paging: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("nemesis-paging: %v", err)
+			}
+		})
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -53,35 +112,16 @@ func main() {
 	e8 := flag.String("e8", "", "netswap experiment: sweep, outage, degrade, or all")
 	timeline := flag.String("timeline", "", "write a Perfetto-loadable trace-event JSON timeline to this file (figs 7/8/9)")
 	timelineJSONL := flag.String("timeline-jsonl", "", "write the compact JSONL timeline dump to this file (convert with nemesis-timeline)")
+	simprofile := flag.String("simprofile", "", "write the folded-stack sim-time attribution profile to this file (figs 7/8; implies telemetry)")
 	suite := flag.Bool("suite", false, "run the full experiment suite as parallel deterministic cells")
 	workers := flag.Int("workers", 0, "sweep fan-out width (0 = NEMESIS_SWEEP_WORKERS or GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			log.Fatalf("nemesis-paging: %v", err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatalf("nemesis-paging: %v", err)
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				log.Fatalf("nemesis-paging: %v", err)
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatalf("nemesis-paging: %v", err)
-			}
-		}()
+	if *cpuprofile != "" || *memprofile != "" {
+		stopProfiles = startProfiles(*cpuprofile, *memprofile)
+		defer stopProfiles()
 	}
 
 	if *suite {
@@ -106,16 +146,22 @@ func main() {
 			opt.Write = true
 			opt.Forgetful = true
 		}
-		opt.Telemetry = *metrics
+		opt.Telemetry = *metrics || *simprofile != ""
 		opt.Timeline = *timeline != "" || *timelineJSONL != ""
 		r, err := experiments.RunPaging(opt)
 		if err != nil {
-			log.Fatalf("nemesis-paging: %v", err)
+			fatalf("nemesis-paging: %v", err)
 		}
 		writeTimelines(r.Sys, *timeline, *timelineJSONL)
+		if *simprofile != "" {
+			if err := r.Sys.CheckAttribution(); err != nil {
+				fatalf("nemesis-paging: %v", err)
+			}
+			writeFile(*simprofile, r.Sys.WriteAttributionFolded)
+		}
 		fmt.Printf("# Figure %d: sustained bandwidth (Mbit/s), sampled every %v\n", *fig, opt.SampleEvery)
 		if err := r.Set.WriteTSV(os.Stdout); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("\n# mean Mbit/s over measured window: ")
 		for i, m := range r.MeanMbps {
@@ -132,15 +178,15 @@ func main() {
 		if *metrics {
 			fmt.Println("\n# per-domain snapshot:")
 			if err := r.Sys.WriteTopTable(os.Stdout); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Println("\n# span hop latency breakdown:")
 			if err := r.Sys.Obs.WriteSpansTSV(os.Stdout); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Println("\n# metric registry:")
 			if err := r.Sys.Obs.WriteMetricsTSV(os.Stdout); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 
@@ -151,7 +197,7 @@ func main() {
 		opt.Timeline = *timeline != "" || *timelineJSONL != ""
 		r, err := experiments.RunFig9(opt)
 		if err != nil {
-			log.Fatalf("nemesis-paging: %v", err)
+			fatalf("nemesis-paging: %v", err)
 		}
 		writeTimelines(r.ContendedSys, *timeline, *timelineJSONL)
 		fmt.Println("# Figure 9: file-system client isolation")
@@ -163,34 +209,37 @@ func main() {
 		runAblations(*measure)
 
 	default:
-		log.Fatalf("nemesis-paging: unknown figure %d", *fig)
+		fatalf("nemesis-paging: unknown figure %d", *fig)
+	}
+}
+
+// writeFile renders into a freshly created file, exiting (with profiles
+// flushed) on any failure.
+func writeFile(path string, render func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("nemesis-paging: %v", err)
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		fatalf("nemesis-paging: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("nemesis-paging: %v", err)
 	}
 }
 
 // writeTimelines exports the run's timeline in whichever formats were
 // requested (no-ops on empty paths or a nil system).
 func writeTimelines(sys *core.System, tracePath, jsonlPath string) {
-	if sys == nil || (tracePath == "" && jsonlPath == "") {
+	if sys == nil {
 		return
 	}
-	write := func(path string, render func(io.Writer) error) {
-		f, err := os.Create(path)
-		if err != nil {
-			log.Fatalf("nemesis-paging: %v", err)
-		}
-		if err := render(f); err != nil {
-			f.Close()
-			log.Fatalf("nemesis-paging: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("nemesis-paging: %v", err)
-		}
-	}
 	if tracePath != "" {
-		write(tracePath, sys.WriteTimeline)
+		writeFile(tracePath, sys.WriteTimeline)
 	}
 	if jsonlPath != "" {
-		write(jsonlPath, sys.WriteTimelineJSONL)
+		writeFile(jsonlPath, sys.WriteTimelineJSONL)
 	}
 }
 
@@ -203,7 +252,7 @@ func runSuite(measure time.Duration, workers int) {
 	start := time.Now()
 	cells, err := experiments.RunSuite(measure, workers)
 	if err != nil {
-		log.Fatalf("nemesis-paging: %v", err)
+		fatalf("nemesis-paging: %v", err)
 	}
 	for _, c := range cells {
 		fmt.Printf("# %s\n%s", c.Name, c.Output)
@@ -217,30 +266,30 @@ func runAblations(measure time.Duration) {
 	}
 	lx, err := experiments.AblationLaxity(measure)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("A1 laxity:      with=%v  without=%v  txns/period without=%v\n",
 		fmtF(lx.WithLaxityMbps), fmtF(lx.WithoutLaxityMbps), fmtF(lx.TxnsPerPeriodWithout))
 	fc, err := experiments.AblationFCFS(measure)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("A2 fcfs disk:   atropos=%v  fcfs=%v\n", fmtF(fc.AtroposMbps), fmtF(fc.FCFSMbps))
 	ct, err := experiments.AblationCrosstalk(measure)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("A3 crosstalk:   self-paging %.2f->%.2f Mbit/s (iso %.2f)  external pager %.2f->%.2f (iso %.2f)\n",
 		ct.SelfAloneMbps, ct.SelfContendedMbps, ct.SelfIsolation(),
 		ct.ExtAloneMbps, ct.ExtContendedMbps, ct.ExtIsolation())
 	sl, err := experiments.AblationSlack(measure)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("A4 slack flag:  x=true %.2f Mbit/s  x=false %.2f Mbit/s\n", sl.XTrueMbps, sl.XFalseMbps)
 	rv, err := experiments.AblationRevocation()
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("A5 revocation:  transparent %.3f ms  intrusive %.3f ms\n", rv.TransparentMs, rv.IntrusiveMs)
 }
@@ -251,36 +300,36 @@ func runExtensions(measure time.Duration) {
 	}
 	pd, err := experiments.ExtensionPipelineDepth([]int{1, 2, 4, 8, 16}, measure)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("E1 pipeline depth: %v -> %v Mbit/s\n", pd.Depths, fmtF(pd.Mbps))
 	ev, err := experiments.ExtensionSecondChance(measure)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("E2 eviction:       fifo %.1f ins/MB (%.1f Mbit/s)  second-chance %.1f ins/MB (%.1f Mbit/s)\n",
 		ev.FIFOPageInsPerMB, ev.FIFOMbps, ev.SecondChancePageInsPerMB, ev.SecondChanceMbps)
 	gpt, err := experiments.ExtensionGuardedPT()
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("E3 guarded PT:     linear %.2fus  guarded %.2fus  (%.1fx slower; paper: ~3x)\n",
 		gpt.LinearUS, gpt.GuardedUS, gpt.Slowdown())
 	sp, err := experiments.ExtensionStreamPaging(measure)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("E4 stream paging:  demand %.2f Mbit/s  streaming %.2f Mbit/s  (%.2fx; prefetch accuracy %d/%d)\n",
 		sp.DemandMbps, sp.StreamingMbps, sp.Speedup(), sp.PrefetchedUsed, sp.Prefetches)
 	rb, err := experiments.ExtensionRebalance(measure)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("E5 rebalancer:     worker %.2f -> %.2f Mbit/s (%.1fx; frames %d -> %d, %d moves)\n",
 		rb.WithoutMbps, rb.WithMbps, rb.Speedup(), rb.WorkerFramesWithout, rb.WorkerFramesWith, rb.Moves)
 	mj, err := experiments.MotivationMJPEG(measure)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("E6 mjpeg player:   QoS miss %.1f%% jitter %.2fms   conventional miss %.1f%% jitter %.2fms\n",
 		100*mj.QoSMissRate, mj.QoSJitterMs, 100*mj.FCFSMissRate, mj.FCFSJitterMs)
@@ -298,7 +347,7 @@ func runNetswap(which string, measure time.Duration) {
 		losses := []float64{0, 0.05}
 		res, err := experiments.RunNetswapSweep(latencies, losses, measure)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println("# E8a netswap sweep: fault-latency breakdown vs link latency and loss")
 		fmt.Println("latency\tloss\tMbit/s\tnet.out p50/p95 ms\tstore p50/p95 ms\tnet.back p50/p95 ms\trpcs\tretries\ttimeouts")
@@ -313,7 +362,7 @@ func runNetswap(which string, measure time.Duration) {
 		ran = true
 		res, err := experiments.RunNetswapOutage(measure / 3)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println("# E8b netswap outage isolation: Mbit/s before/during/after a remote outage")
 		fmt.Printf("local (swap disk):\t%v\n", fmtF(res.LocalMbps[:]))
@@ -327,7 +376,7 @@ func runNetswap(which string, measure time.Duration) {
 		ran = true
 		res, err := experiments.RunNetswapDegrade(measure / 3)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println("# E8c netswap tiered degradation: Mbit/s before/during/after a remote outage")
 		fmt.Printf("tiered domain:\t%v\tdegraded during outage: %v\n", fmtF(res.Mbps[:]), res.DegradedDuringOutage)
@@ -336,7 +385,7 @@ func runNetswap(which string, measure time.Duration) {
 			res.Stats.DegradedEntries, res.Stats.LocalHits)
 	}
 	if !ran {
-		log.Fatalf("nemesis-paging: unknown -e8 experiment %q (want sweep, outage, degrade or all)", which)
+		fatalf("nemesis-paging: unknown -e8 experiment %q (want sweep, outage, degrade or all)", which)
 	}
 }
 

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"nemesis/internal/atropos"
@@ -104,10 +105,26 @@ type System struct {
 	recorder *obs.Recorder
 }
 
+// ForceTelemetry, when set, overrides Config.Telemetry for every System
+// built afterwards. It exists for whole-suite invariant tests (attribution
+// conservation across every experiment cell): telemetry is purely
+// observational — it schedules no simulator events and draws no randomness —
+// so forcing it on must not change any experiment's output.
+var ForceTelemetry bool
+
+// ShutdownHook, when set, is invoked at the start of every System.Shutdown.
+// Whole-suite tests use it to audit each system (conservation checks) at the
+// moment its experiment completes. The hook must be safe for concurrent
+// calls when suites fan out across workers.
+var ShutdownHook func(*System)
+
 // New builds a System from cfg.
 func New(cfg Config) *System {
 	if cfg.MemoryFrames == 0 {
 		cfg = DefaultConfig()
+	}
+	if ForceTelemetry {
+		cfg.Telemetry = true
 	}
 	s := sim.New(cfg.Seed)
 	store := mem.NewFrameStore(cfg.MemoryFrames)
@@ -124,6 +141,9 @@ func New(cfg Config) *System {
 			reg.SetSpanCap(cfg.SpanCap)
 		}
 		frames.SetObs(reg)
+		// Exact sim-time attribution: spans drive the fault states, the CPU
+		// scheduler drives running/runnable, admission starts the clock.
+		sched.Attr = reg.EnableAttribution()
 	}
 	d := disk.New(s, cfg.DiskGeometry)
 	d.SetObs(reg)
@@ -580,9 +600,35 @@ func (sys *System) Run(d time.Duration) { sys.Sim.RunFor(d) }
 // RunUntilIdle drains the event queue (bounded by maxEvents).
 func (sys *System) RunUntilIdle(maxEvents int) { sys.Sim.RunUntilIdle(maxEvents) }
 
+// CheckAttribution asserts the attribution conservation invariant — every
+// domain's accounts sum exactly to its elapsed sim time — returning the
+// first violation, or nil (also nil when telemetry is off).
+func (sys *System) CheckAttribution() error {
+	return sys.Obs.Attr().CheckConservation()
+}
+
+// WriteAttributionFolded renders the per-domain attribution as folded
+// stacks (`domain;state[;hop] microseconds`), the input format of standard
+// flamegraph tools. Requires Config.Telemetry.
+func (sys *System) WriteAttributionFolded(w io.Writer) error {
+	if sys.Obs == nil || sys.Obs.Attr() == nil {
+		return fmt.Errorf("core: attribution requires telemetry (Config.Telemetry)")
+	}
+	return sys.Obs.Attr().WriteFolded(w)
+}
+
+// AttributionProfiles snapshots every domain's attribution in admission
+// order (nil when telemetry is off).
+func (sys *System) AttributionProfiles() []obs.DomainProfile {
+	return sys.Obs.Attr().Profiles()
+}
+
 // Shutdown stops background service loops (the USD, the crosstalk monitor
 // and the netswap server, if running) so RunUntilIdle terminates.
 func (sys *System) Shutdown() {
+	if ShutdownHook != nil {
+		ShutdownHook(sys)
+	}
 	if sys.recorder != nil {
 		sys.recorder.Stop()
 	}

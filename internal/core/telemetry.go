@@ -70,7 +70,42 @@ func (sys *System) WriteTopTable(w io.Writer) error {
 	fmt.Fprintf(w, "free frames: %d   spans recorded: %d   spans evicted: %d   crosstalk flags: %d   t=%.0fms\n",
 		sys.Frames.FreeFrames(), sys.Obs.SpanTotal(), sys.Obs.SpansEvicted(),
 		len(sys.Obs.Flags()), sys.Obs.Now().Milliseconds())
-	return nil
+	return sys.writeAttributionTable(w)
+}
+
+// writeAttributionTable renders the exact sim-time attribution — where every
+// microsecond of each domain's lifetime went — with per-hop latency
+// quantiles for the fault states (from the page-fault hop histograms). A
+// no-op when attribution is not enabled.
+func (sys *System) writeAttributionTable(w io.Writer) error {
+	attr := sys.Obs.Attr()
+	if attr == nil {
+		return nil
+	}
+	fmt.Fprintln(w)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "DOMAIN\tSTATE\tTOTALms\tSHARE%%\tP50ms\tP95ms\tP99ms\t\n")
+	for _, p := range attr.Profiles() {
+		for _, acc := range p.Accounts {
+			label := acc.State.String()
+			if acc.Hop != "" {
+				label += ";" + acc.Hop
+			}
+			share := 0.0
+			if p.Elapsed() > 0 {
+				share = 100 * float64(acc.Total) / float64(p.Elapsed())
+			}
+			q50, q95, q99 := "-", "-", "-"
+			if acc.State == obs.AttrFault {
+				if h := sys.Obs.HopHistogram(p.Domain, "page", acc.Hop); h.Count() > 0 {
+					q50, q95, q99 = quantMs(h, 0.50), quantMs(h, 0.95), quantMs(h, 0.99)
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.1f\t%s\t%s\t%s\t\n",
+				p.Domain, label, float64(acc.Total)/1e6, share, q50, q95, q99)
+		}
+	}
+	return tw.Flush()
 }
 
 func quantMs(h *obs.Histogram, q float64) string {

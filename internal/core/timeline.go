@@ -72,6 +72,18 @@ func (sys *System) trackDomain(rc *obs.Recorder, d *domain.Domain) {
 		rc.TrackGauge("frames", "guarantee", name, "frames", func() int64 { return g })
 		rc.TrackGauge("frames", "optimistic", name, "frames", func() int64 { return o })
 	}
+	// Attribution breakdown over time: microseconds per second of sim time
+	// accrued in each coarse state. Together the four series sum to ~1e6,
+	// so a stacked view shows the whole processor-second accounted for.
+	if attr := sys.Obs.Attr(); attr != nil {
+		da := attr.Track(name)
+		for _, st := range obs.AttrStates {
+			st := st
+			rc.TrackRate("attr", st.String(), name, "us_per_s", func() int64 {
+				return da.StateTotal(st).Microseconds()
+			})
+		}
+	}
 	// Only netswap systems carry in-flight tracks. The gauge itself may
 	// appear after the domain is tracked, so re-resolve per sample.
 	if sys.NetSwap != nil {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"nemesis/internal/atropos"
+	"nemesis/internal/obs"
 	"nemesis/internal/sim"
 )
 
@@ -16,6 +17,11 @@ type Scheduler struct {
 	sim   *sim.Simulator
 	core  *atropos.Core
 	Costs Costs
+
+	// Attr, when set before domains are admitted, feeds the sim-time
+	// attribution profiler with wait/run/yield transitions. Nil costs
+	// nothing: the per-domain handle's methods are no-ops on nil.
+	Attr *obs.Attribution
 
 	busy    bool
 	waiters map[string]*waiter
@@ -39,7 +45,8 @@ type DomainCPU struct {
 	s    *Scheduler
 	ac   *atropos.Client
 	name string
-	w    *waiter // pre-resolved, avoids a map lookup per quantum
+	w    *waiter         // pre-resolved, avoids a map lookup per quantum
+	attr *obs.DomainAttr // attribution handle, nil without telemetry
 }
 
 // NewScheduler creates a CPU scheduler on s.
@@ -64,7 +71,11 @@ func (s *Scheduler) Admit(name string, q atropos.QoS) (*DomainCPU, error) {
 	w := &waiter{cond: sim.NewCond(s.sim)}
 	s.waiters[name] = w
 	s.order = append(s.order, name)
-	return &DomainCPU{s: s, ac: ac, name: name, w: w}, nil
+	d := &DomainCPU{s: s, ac: ac, name: name, w: w}
+	if s.Attr != nil {
+		d.attr = s.Attr.Track(name)
+	}
+	return d, nil
 }
 
 // Remove deregisters a domain.
@@ -135,13 +146,16 @@ func (s *Scheduler) schedule() {
 func (s *Scheduler) acquire(p *sim.Proc, d *DomainCPU) {
 	w := d.w
 	w.pending++
+	d.attr.CPUWait()
 	s.sim.At(s.sim.Now(), s.scheduleFn)
 	w.cond.Wait(p)
 	w.pending--
+	d.attr.CPURun()
 }
 
 // release charges the consumed quantum and reschedules.
 func (s *Scheduler) release(d *DomainCPU, used time.Duration) {
+	d.attr.CPUYield()
 	s.core.Charge(d.ac, used)
 	s.busy = false
 	s.sim.At(s.sim.Now(), s.scheduleFn)

@@ -240,6 +240,10 @@ func (d *Domain) Kill() {
 		return
 	}
 	d.killed = true
+	// A killed domain's faulting threads unwind without finishing their
+	// spans and its CPU waiters never report back; close its attribution
+	// accounting at the kill instant so time stays conserved.
+	d.env.Obs.Attr().DomainKilled(d.name)
 	d.mm.kill()
 	// Kill the calling thread (if any) last: Proc.Kill on the running
 	// process unwinds immediately, which would skip the remaining ones.

@@ -53,6 +53,12 @@ type PagingOptions struct {
 	// Telemetry enables the observability registry (fault spans, metric
 	// series) and starts the QoS-crosstalk monitor on the system.
 	Telemetry bool
+	// Hog admits a fourth application with a small (5%) disk slice but an
+	// unbounded paging appetite. Under Atropos the contention it creates
+	// must land in its own attribution account while the contracted
+	// applications' breakdowns stay flat — the attribution experiments
+	// assert exactly that. Off for all figure/golden runs.
+	Hog bool
 	// Timeline (implies Telemetry) starts the time-series recorder for the
 	// measured window and adds a deterministic revocation episode — a hog
 	// domain holding optimistic frames is revoked from mid-measure — so the
@@ -147,6 +153,24 @@ func RunPaging(opt PagingOptions) (*PagingResult, error) {
 		pc.ClusterSize = opt.ClusterSize
 		pc.SampleEvery = opt.SampleEvery
 		pg, err := workload.StartPager(sys, pc, res.Set.New(name))
+		if err != nil {
+			return nil, err
+		}
+		res.Pagers = append(res.Pagers, pg)
+	}
+	if opt.Hog {
+		// 5% of the period: a starved contract, so the hog's demand piles
+		// up in its own usd.queue account instead of on the victims.
+		slice := opt.Period / 20
+		pc := workload.DefaultPagerConfig("hog-5%", slice)
+		pc.DiskQoS = atropos.QoS{P: opt.Period, S: slice, X: false, L: opt.Laxity}
+		pc.VirtBytes = opt.VirtBytes
+		pc.PhysFrames = opt.PhysFrames
+		pc.SwapBytes = opt.SwapBytes
+		pc.Write = opt.Write
+		pc.Forgetful = opt.Forgetful
+		pc.SampleEvery = opt.SampleEvery
+		pg, err := workload.StartPager(sys, pc, res.Set.New("hog-5%"))
 		if err != nil {
 			return nil, err
 		}

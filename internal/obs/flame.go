@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// FoldedLine is one record of a folded-stack profile: a semicolon-separated
+// frame stack and the total microseconds attributed to it.
+type FoldedLine struct {
+	Frames []string
+	Micros int64
+}
+
+// ParseFolded reads a folded-stack profile (`frame;frame;... count` per
+// line, blank and `#`-comment lines ignored) as written by
+// Attribution.WriteFolded or any flamegraph-style tool.
+func ParseFolded(r io.Reader) ([]FoldedLine, error) {
+	var out []FoldedLine
+	sc := bufio.NewScanner(r)
+	for n := 1; sc.Scan(); n++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("obs: folded line %d: no count: %q", n, line)
+		}
+		us, err := strconv.ParseInt(line[i+1:], 10, 64)
+		if err != nil || us < 0 {
+			return nil, fmt.Errorf("obs: folded line %d: bad count %q", n, line[i+1:])
+		}
+		stack := strings.TrimSpace(line[:i])
+		if stack == "" {
+			return nil, fmt.Errorf("obs: folded line %d: empty stack", n)
+		}
+		out = append(out, FoldedLine{Frames: strings.Split(stack, ";"), Micros: us})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// flameNode is one box in the flamegraph: a frame, its own total, and its
+// children in first-seen order (which keeps the rendering deterministic for
+// a deterministic input).
+type flameNode struct {
+	name     string
+	total    int64
+	children []*flameNode
+}
+
+func (f *flameNode) child(name string) *flameNode {
+	for _, c := range f.children {
+		if c.name == name {
+			return c
+		}
+	}
+	c := &flameNode{name: name}
+	f.children = append(f.children, c)
+	return c
+}
+
+func (f *flameNode) depth() int {
+	d := 0
+	for _, c := range f.children {
+		if cd := c.depth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// flameColor derives a stable warm color from the frame name alone, so the
+// same hop is the same hue in every rendering, with no randomness.
+func flameColor(name string) string {
+	h := fnv.New32a()
+	io.WriteString(h, name)
+	v := h.Sum32()
+	r := 205 + int(v%50)
+	g := 50 + int((v>>8)%180)
+	b := int((v >> 16) % 60)
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+const (
+	flameWidth  = 1200.0
+	flameRowH   = 18.0
+	flameMinPx  = 0.25 // boxes narrower than this are dropped, not smeared
+	flameMargin = 10.0
+)
+
+// WriteFlameSVG renders a folded-stack profile as a standalone flamegraph
+// SVG: width proportional to time, one row per stack depth, colors hashed
+// from frame names. The output is byte-deterministic for a given input and
+// needs no external tools to produce or view.
+func WriteFlameSVG(w io.Writer, lines []FoldedLine) error {
+	root := &flameNode{name: "all"}
+	for _, l := range lines {
+		root.total += l.Micros
+		n := root
+		for _, f := range l.Frames {
+			n = n.child(f)
+			n.total += l.Micros
+		}
+	}
+	if root.total <= 0 {
+		return fmt.Errorf("obs: flamegraph input has no time")
+	}
+	depth := root.depth()
+	height := flameRowH*float64(depth) + 2*flameMargin + flameRowH // + title row
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" font-family="monospace" font-size="11">`+"\n",
+		flameWidth+2*flameMargin, height)
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="#f8f8f8"/>`+"\n")
+	fmt.Fprintf(bw, `<text x="%.1f" y="%.1f">sim-time attribution: %s total</text>`+"\n",
+		flameMargin, flameMargin+12, microsLabel(root.total))
+
+	// Icicle layout: root on top, children below, x proportional to time.
+	var emit func(n *flameNode, x float64, level int)
+	emit = func(n *flameNode, x float64, level int) {
+		w := flameWidth * float64(n.total) / float64(root.total)
+		if w < flameMinPx {
+			return
+		}
+		y := flameMargin + flameRowH + flameRowH*float64(level)
+		fill := "#c0c0c0"
+		if level > 0 {
+			fill = flameColor(n.name)
+		}
+		share := 100 * float64(n.total) / float64(root.total)
+		fmt.Fprintf(bw, `<g><title>%s: %s (%.2f%%)</title><rect x="%.2f" y="%.2f" width="%.2f" height="%.1f" fill="%s" stroke="#f8f8f8" stroke-width="0.5"/>`,
+			xmlEscape(n.name), microsLabel(n.total), share, x, y, w, flameRowH, fill)
+		if label := fitLabel(n.name, w); label != "" {
+			fmt.Fprintf(bw, `<text x="%.2f" y="%.2f">%s</text>`, x+3, y+13, xmlEscape(label))
+		}
+		fmt.Fprintf(bw, "</g>\n")
+		cx := x
+		for _, c := range n.children {
+			emit(c, cx, level+1)
+			cx += flameWidth * float64(c.total) / float64(root.total)
+		}
+	}
+	emit(root, flameMargin, 0)
+	fmt.Fprintf(bw, "</svg>\n")
+	return bw.Flush()
+}
+
+// fitLabel truncates a frame name to what fits in a box of the given pixel
+// width (~6.6 px per glyph at 11px monospace), or returns "" if nothing fits.
+func fitLabel(name string, w float64) string {
+	max := int((w - 6) / 6.6)
+	if max < 2 {
+		return ""
+	}
+	if len(name) <= max {
+		return name
+	}
+	if max < 4 {
+		return ""
+	}
+	return name[:max-2] + ".."
+}
+
+func microsLabel(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%.3fs", float64(us)/1e6)
+	case us >= 1_000:
+		return fmt.Sprintf("%.3fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dus", us)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

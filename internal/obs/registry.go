@@ -75,6 +75,10 @@ type Registry struct {
 
 	flags []Flag
 	audit []AuditEvent
+
+	// attr is the sim-time attribution state machine, nil until
+	// EnableAttribution. When enabled, span lifecycle events drive it.
+	attr *Attribution
 }
 
 // NewRegistry creates a registry reading time from now.
@@ -100,6 +104,37 @@ func (r *Registry) SetSpanCap(n int) {
 		return
 	}
 	r.spanCap = n
+}
+
+// EnableAttribution switches on exact per-domain sim-time attribution
+// (idempotent) and returns the state machine. Fault spans recorded on the
+// registry feed it automatically; the CPU scheduler feeds it via the handle
+// the system facade wires in.
+func (r *Registry) EnableAttribution() *Attribution {
+	if r == nil {
+		return nil
+	}
+	if r.attr == nil {
+		r.attr = newAttribution(r.now)
+	}
+	return r.attr
+}
+
+// Attr returns the attribution state machine, or nil if never enabled.
+func (r *Registry) Attr() *Attribution {
+	if r == nil {
+		return nil
+	}
+	return r.attr
+}
+
+// HopHistogram returns the latency histogram of one fault-path hop for one
+// (domain, fault class), or nil if that hop was never observed.
+func (r *Registry) HopHistogram(domain, class, hop string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.hopHists[hopKey{domain, class, hop}]
 }
 
 // Now returns the registry's current simulated time (zero for nil).

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"nemesis/internal/sim"
+)
+
+// TestRecorderRingMultipleWraps drives a tiny ring through several full
+// wrap-arounds and checks that Times and every track's Values stay aligned,
+// oldest-first, after each lap.
+func TestRecorderRingMultipleWraps(t *testing.T) {
+	s := sim.New(1)
+	r := NewRegistry(s.Now)
+	const cap = 4
+	rc := NewRecorder(r, s, RecorderConfig{Interval: 10 * time.Millisecond, Cap: cap})
+
+	// The gauge reports the sample ordinal, so values must always equal the
+	// window index their timestamp implies — any ring misalignment shows.
+	tick := int64(0)
+	tr := rc.TrackGauge("", "ordinal", "dom", "n", func() int64 { tick++; return tick })
+	rc.Start()
+
+	for lap := 1; lap <= 3; lap++ {
+		s.RunFor(cap * 10 * time.Millisecond)
+		if rc.Samples() != cap || rc.Total() != int64(lap*cap) {
+			t.Fatalf("lap %d: samples=%d total=%d", lap, rc.Samples(), rc.Total())
+		}
+		times := rc.Times()
+		vals := rc.Values(tr)
+		if len(times) != cap || len(vals) != cap {
+			t.Fatalf("lap %d: len(times)=%d len(vals)=%d", lap, len(times), len(vals))
+		}
+		for i := 0; i < cap; i++ {
+			ordinal := int64((lap-1)*cap + i + 1)
+			wantT := sim.Time(time.Duration(ordinal) * 10 * time.Millisecond)
+			if times[i] != wantT {
+				t.Fatalf("lap %d slot %d: time %v, want %v (times %v)", lap, i, times[i], wantT, times)
+			}
+			if int64(vals[i]) != ordinal {
+				t.Fatalf("lap %d slot %d: value %v, want %d (vals %v)", lap, i, vals[i], ordinal, vals)
+			}
+		}
+	}
+
+	// A partial lap keeps oldest-first order straddling the wrap point.
+	s.RunFor(10 * time.Millisecond)
+	times := rc.Times()
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatalf("times not monotonic after partial lap: %v", times)
+		}
+	}
+	rc.Stop()
+}
+
+// TestAuditOrderingSameTimestamp pins the tiebreak for audit events logged
+// at one sim instant: append order is preserved, in the log, in per-kind
+// views, and in the TSV rendering. The simulator fires same-time events
+// FIFO, so this makes audit trails deterministic end to end.
+func TestAuditOrderingSameTimestamp(t *testing.T) {
+	r, fc := newTestRegistry()
+	fc.advance(5 * time.Millisecond)
+	r.Audit(AuditRevokeBegin, "hog", "", 8, "first")
+	r.Audit(AuditCrosstalk, "victim", "hog", 0, "second")
+	r.Audit(AuditRevokeBegin, "hog2", "", 4, "third")
+	r.Audit(AuditRevokeComplete, "hog", "", 8, "fourth")
+
+	log := r.AuditLog()
+	if len(log) != 4 {
+		t.Fatalf("audit log has %d events", len(log))
+	}
+	wantNotes := []string{"first", "second", "third", "fourth"}
+	for i, e := range log {
+		if e.At != sim.Time(5*time.Millisecond) {
+			t.Fatalf("event %d at %v, want all at 5ms", i, e.At)
+		}
+		if e.Detail != wantNotes[i] {
+			t.Fatalf("event %d detail %q, want %q (append order must be preserved)", i, e.Detail, wantNotes[i])
+		}
+	}
+
+	// Per-kind view keeps the same relative order.
+	begins := r.AuditByKind(AuditRevokeBegin)
+	if len(begins) != 2 || begins[0].Detail != "first" || begins[1].Detail != "third" {
+		t.Fatalf("AuditByKind order: %+v", begins)
+	}
+
+	// And the TSV renders rows in that order.
+	var buf bytes.Buffer
+	if err := r.WriteAuditTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rows []int
+	for _, n := range wantNotes {
+		i := strings.Index(buf.String(), n)
+		if i < 0 {
+			t.Fatalf("TSV missing %q:\n%s", n, buf.String())
+		}
+		rows = append(rows, i)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i] < rows[i-1] {
+			t.Fatalf("TSV rows out of append order:\n%s", buf.String())
+		}
+	}
+}

@@ -49,14 +49,17 @@ func (r *Registry) StartSpan(domain, class string) *Span {
 	if r == nil {
 		return nil
 	}
+	var s *Span
 	if n := len(r.freeSpans); n > 0 {
-		s := r.freeSpans[n-1]
+		s = r.freeSpans[n-1]
 		r.freeSpans[n-1] = nil
 		r.freeSpans = r.freeSpans[:n-1]
 		*s = Span{reg: r, Domain: domain, Class: class, Start: r.now(), hops: s.hops[:0]}
-		return s
+	} else {
+		s = &Span{reg: r, Domain: domain, Class: class, Start: r.now()}
 	}
-	return &Span{reg: r, Domain: domain, Class: class, Start: r.now()}
+	r.attr.spanStarted(s)
+	return s
 }
 
 // SetThread records the faulting thread's name.
@@ -91,6 +94,7 @@ func (s *Span) BeginHop(name string) {
 	s.closeOpen(now)
 	s.hops = append(s.hops, Hop{Name: name, Start: now})
 	s.open = true
+	s.reg.attr.spanHop(s, now)
 }
 
 // SplitHop closes the open hop at instant at (which may lie in the past —
@@ -104,6 +108,7 @@ func (s *Span) SplitHop(at sim.Time, name string) {
 		// No open hop to split: behave like BeginHop at the given instant.
 		s.hops = append(s.hops, Hop{Name: name, Start: at})
 		s.open = true
+		s.reg.attr.spanHop(s, at)
 		return
 	}
 	last := &s.hops[len(s.hops)-1]
@@ -112,6 +117,7 @@ func (s *Span) SplitHop(at sim.Time, name string) {
 	}
 	last.End = at
 	s.hops = append(s.hops, Hop{Name: name, Start: at})
+	s.reg.attr.spanHop(s, at)
 }
 
 // EndHop closes the open hop at the current instant without opening a new
@@ -134,6 +140,9 @@ func (s *Span) Finish(outcome string) {
 	s.End = s.reg.now()
 	s.closeOpen(s.End)
 	s.Outcome = outcome
+	// Release the attribution's reference before recordSpan may recycle
+	// the span into the free list.
+	s.reg.attr.spanFinished(s)
 	s.reg.recordSpan(s)
 }
 
