@@ -2,7 +2,7 @@ GO ?= go
 BENCHFLAGS ?= -run=NONE -bench=. -benchtime=1x -benchmem
 BASELINE ?= BENCH_BASELINE.json
 
-.PHONY: build test race bench bench-baseline lint suite
+.PHONY: build test race bench bench-baseline lint suite cluster
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,8 @@ race:
 
 # Run every benchmark once and compare against the committed baseline.
 # Wall-clock (ns/op) and allocation deltas are informational; deterministic
-# simulated-time metrics (sim_us*, sim_attr_us*) fail the run if they
-# drift >10%.
+# simulated-time metrics (sim_us*, sim_attr_us*, sim_events*) fail the run
+# if they drift >10%.
 bench:
 	$(GO) test $(BENCHFLAGS) ./... | tee bench.out
 	$(GO) run ./cmd/benchcmp -baseline $(BASELINE) -fail-over 10 bench.out
@@ -33,3 +33,7 @@ lint:
 # Full experiment suite through the parallel sweep runner.
 suite:
 	$(GO) run ./cmd/nemesis-paging -suite -measure 15s
+
+# Cluster paging scenario at the standard 1,000-domain scale.
+cluster:
+	$(GO) run ./cmd/nemesis-paging -cluster

@@ -16,6 +16,7 @@ package nemesis
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -302,6 +303,41 @@ func BenchmarkExtensionRebalance(b *testing.B) {
 	b.ReportMetric(last.WithoutMbps, "mbps_without")
 	b.ReportMetric(last.WithMbps, "mbps_with")
 	b.ReportMetric(float64(last.Moves), "moves")
+}
+
+// BenchmarkClusterScale runs the cluster paging scenario on one machine at
+// growing domain populations. The deterministic metrics are the scaling
+// story: sim_events_per_s is how much simulated work the run performs per
+// simulated second, and sim_events_per_domain is the per-domain share — it
+// must stay flat (sub-linear total cost) as the population grows, because
+// idle domains cost the indexed scheduler, the indexed allocator and the
+// incremental crosstalk monitor nothing. Wall-clock ns/op measures the
+// simulator's own cost at each scale.
+func BenchmarkClusterScale(b *testing.B) {
+	for _, n := range []int{100, 1000, 5000} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			var last *experiments.ClusterResult
+			for i := 0; i < b.N; i++ {
+				opt := experiments.DefaultClusterOptions()
+				opt.Machines = 1
+				opt.DomainsPerMachine = n
+				opt.Servers = 1 + n/1000
+				r, err := experiments.RunCluster(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			tot := last.Totals()
+			if tot.Violations != 0 || tot.Kills != 0 {
+				b.Fatalf("QoS breached at %d domains: %+v", n, tot)
+			}
+			secs := last.Options.Measure.Seconds()
+			b.ReportMetric(float64(tot.Events)/secs, "sim_events_per_s")
+			b.ReportMetric(float64(tot.Events)/float64(n), "sim_events_per_domain")
+		})
+	}
 }
 
 func BenchmarkMotivationMJPEG(b *testing.B) {

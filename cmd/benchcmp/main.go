@@ -167,7 +167,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against")
 	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
 	failOver := flag.Float64("fail-over", 10, "fail when a gated metric drifts more than this percent")
-	gate := flag.String("gate", "sim_us|sim_attr", "regexp: metric units to gate (deterministic simulated-time results)")
+	gate := flag.String("gate", "sim_us|sim_attr|sim_events", "regexp: metric units to gate (deterministic simulated-time results)")
 	failAllocs := flag.Bool("fail-allocs", false, "also gate allocs/op increases beyond -fail-over percent")
 	flag.Parse()
 

@@ -13,6 +13,12 @@
 //	-suite   run the full suite (Table 1, Figs. 7–9, ablations, extensions,
 //	         netswap) as independent cells fanned across -workers goroutines;
 //	         output order and content are identical at any worker count
+//	-cluster run the cluster paging scenario: -cluster-machines independent
+//	         machines × -cluster-domains self-paging domains each, paging
+//	         remotely to a pool of -cluster-servers swap servers per machine
+//	         under byte-reserving admission; prints the per-machine summary
+//	         table (byte-identical at any -workers count) and optionally
+//	         exports the full result as JSON with -cluster-json
 //	-timeline out.json
 //	         export the run's timeline (figs 7/8/9) as Chrome trace-event
 //	         JSON, loadable in ui.perfetto.dev; adds a deterministic
@@ -32,6 +38,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -114,6 +121,11 @@ func main() {
 	timelineJSONL := flag.String("timeline-jsonl", "", "write the compact JSONL timeline dump to this file (convert with nemesis-timeline)")
 	simprofile := flag.String("simprofile", "", "write the folded-stack sim-time attribution profile to this file (figs 7/8; implies telemetry)")
 	suite := flag.Bool("suite", false, "run the full experiment suite as parallel deterministic cells")
+	cluster := flag.Bool("cluster", false, "run the cluster paging scenario (N machines x M self-paging domains over a swap-server pool)")
+	clusterMachines := flag.Int("cluster-machines", 0, "cluster machine count (0 = default 4)")
+	clusterDomains := flag.Int("cluster-domains", 0, "domains per cluster machine (0 = default 250)")
+	clusterServers := flag.Int("cluster-servers", 0, "swap servers per cluster machine (0 = default 2)")
+	clusterJSON := flag.String("cluster-json", "", "write the full cluster result as JSON to this file")
 	workers := flag.Int("workers", 0, "sweep fan-out width (0 = NEMESIS_SWEEP_WORKERS or GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -126,6 +138,26 @@ func main() {
 
 	if *suite {
 		runSuite(*measure, *workers)
+		return
+	}
+	if *cluster {
+		// The cluster's own 2 s default applies unless -measure was given
+		// explicitly: the scenario is sized in domains, not window length,
+		// and the figures' 40 s default would just multiply the run time.
+		clusterMeasure := time.Duration(0)
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "measure" {
+				clusterMeasure = *measure
+			}
+		})
+		runCluster(experiments.ClusterOptions{
+			Machines:          *clusterMachines,
+			DomainsPerMachine: *clusterDomains,
+			Servers:           *clusterServers,
+			Measure:           clusterMeasure,
+			Seed:              *seed,
+			Workers:           *workers,
+		}, *clusterJSON)
 		return
 	}
 	if *ext {
@@ -240,6 +272,27 @@ func writeTimelines(sys *core.System, tracePath, jsonlPath string) {
 	}
 	if jsonlPath != "" {
 		writeFile(jsonlPath, sys.WriteTimelineJSONL)
+	}
+}
+
+// runCluster runs the cluster paging scenario, prints the deterministic
+// per-machine summary, and optionally exports the full result as JSON.
+func runCluster(opt experiments.ClusterOptions, jsonPath string) {
+	start := time.Now()
+	res, err := experiments.RunCluster(opt)
+	if err != nil {
+		fatalf("nemesis-paging: %v", err)
+	}
+	if err := res.WriteSummary(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# cluster: %.2fs wall\n", time.Since(start).Seconds())
+	if jsonPath != "" {
+		writeFile(jsonPath, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(res)
+		})
 	}
 }
 

@@ -22,11 +22,34 @@
 // The package is pure accounting: it never blocks and never reads a clock.
 // Drivers (internal/usd, internal/cpu) own the event loop and tell the core
 // what happened and when.
+//
+// # Indexed core
+//
+// The core scales to thousands of clients: picks and refreshes run off
+// (deadline, admission) min-heaps instead of scanning the client slice.
+// Heap entries are invalidated lazily — a state change never touches the
+// heaps; stale entries are recognised and dropped when they surface at the
+// top. Dropping is safe because, within one deadline epoch, eligibility only
+// ever decreases: remain only shrinks outside Refresh, removal is permanent,
+// and Refresh — the sole operation that restores a client — always advances
+// its deadline and pushes a fresh entry. One consequence: MinRemain must be
+// configured before the core starts operating (lowering it mid-flight could
+// resurrect entries that were already dropped).
+//
+// Drivers that track work availability per client (internal/cpu) should
+// mirror it through SetReady and pick via PickEDFReady/PickSlackReady, which
+// consider only ready clients; the generic PickEDFWith/PickSlack remain for
+// drivers with few clients (internal/usd).
+//
+// ReferenceCore (reference.go) retains the original linear implementation;
+// the package tests co-run both over seeded random contract sets to pin the
+// decisions of this implementation to the reference, operation by operation.
 package atropos
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"nemesis/internal/sim"
@@ -100,6 +123,14 @@ type Client struct {
 	allocations int64         // periodic allocations granted
 	charged     time.Duration // total time charged (work + lax)
 	laxCharged  time.Duration // total lax time charged
+
+	// Index bookkeeping (owned by Core).
+	seq      uint64 // admission sequence number; EDF tie-break key
+	idx      int    // position in Core.clients (slack round-robin order)
+	removed  bool   // invalidates any heap entries still referencing c
+	ready    bool   // driver-reported work availability (SetReady)
+	readyGen uint32 // bumped on every readiness flip; invalidates readyq entries
+	readyPos int    // position in Core.readyList, -1 when not ready
 }
 
 // Name returns the client's registration name.
@@ -135,16 +166,91 @@ func (c *Client) Charged() time.Duration { return c.charged }
 // LaxCharged returns total lax time charged to the client.
 func (c *Client) LaxCharged() time.Duration { return c.laxCharged }
 
+// qentry is a lazily-invalidated heap entry. An entry speaks for its client
+// only while the client still matches the snapshot taken at push time: the
+// deadline must be unchanged (Refresh advances it and pushes a replacement)
+// and, for readyq entries, the readiness generation must match.
+type qentry struct {
+	deadline sim.Time
+	seq      uint64
+	gen      uint32 // readiness generation (readyq entries only)
+	c        *Client
+}
+
+// entryHeap is a binary min-heap ordered by (deadline, admission sequence) —
+// the same total order the linear scans realise via strict-< with
+// admission-order iteration.
+type entryHeap []qentry
+
+func entryLess(a, b qentry) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	return a.seq < b.seq
+}
+
+func (h *entryHeap) push(e qentry) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *entryHeap) pop() qentry {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = qentry{}
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && entryLess(q[l], q[min]) {
+			min = l
+		}
+		if r < n && entryLess(q[r], q[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
+}
+
 // Core tracks a set of clients sharing one resource.
 type Core struct {
-	clients  []*Client
-	capacity float64 // admissible sum of S/P, normally 1.0
-	slackIdx int     // round-robin cursor for slack distribution
+	clients    []*Client
+	byName     map[string]*Client
+	capacity   float64 // admissible sum of S/P, normally 1.0
+	contracted float64 // running sum of admitted shares
+	slackIdx   int     // round-robin cursor for slack distribution
+	nextSeq    uint64
+
+	runq      entryHeap // runnable clients by (deadline, seq); lazy
+	relq      entryHeap // one release-time entry per live client; lazy
+	readyq    entryHeap // ready ∧ runnable clients by (deadline, seq); lazy
+	readyList []*Client // unordered set of ready clients (PickSlackReady)
+	scratch   []qentry  // PickEDFWith spill buffer, reused across calls
+
 	// MinRemain is the "reasonable amount of time remaining" threshold of
 	// the roll-over scheme: a client may start a transaction while
 	// remain > MinRemain, even if the transaction may overrun. Zero means
 	// any positive remainder suffices (pure roll-over as described in the
-	// paper's experiments).
+	// paper's experiments). Configure before the first Admit; see the
+	// package comment on lazy invalidation.
 	MinRemain time.Duration
 }
 
@@ -154,30 +260,27 @@ func NewCore(capacity float64) *Core {
 	if capacity <= 0 {
 		capacity = 1.0
 	}
-	return &Core{capacity: capacity}
+	return &Core{capacity: capacity, byName: make(map[string]*Client)}
 }
 
 // Contracted returns the sum of admitted shares.
-func (co *Core) Contracted() float64 {
+func (co *Core) Contracted() float64 { return co.contracted }
+
+// recontract recomputes the admitted-share sum by the same left fold the
+// linear implementation used, keeping the float result bit-identical.
+func (co *Core) recontract() {
 	total := 0.0
 	for _, c := range co.clients {
 		total += c.qos.Share()
 	}
-	return total
+	co.contracted = total
 }
 
 // Clients returns the registered clients in admission order.
 func (co *Core) Clients() []*Client { return co.clients }
 
 // Lookup returns the client with the given name, or nil.
-func (co *Core) Lookup(name string) *Client {
-	for _, c := range co.clients {
-		if c.name == name {
-			return c
-		}
-	}
-	return nil
-}
+func (co *Core) Lookup(name string) *Client { return co.byName[name] }
 
 // Admit registers a client with the given contract, starting its first
 // period at now. Admission fails if the aggregate share would exceed
@@ -190,8 +293,8 @@ func (co *Core) Admit(name string, q QoS, now sim.Time) (*Client, error) {
 	if co.Lookup(name) != nil {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
-	if co.Contracted()+q.Share() > co.capacity+1e-9 {
-		return nil, fmt.Errorf("%w: %.3f + %.3f > %.3f", ErrOvercommitted, co.Contracted(), q.Share(), co.capacity)
+	if co.contracted+q.Share() > co.capacity+1e-9 {
+		return nil, fmt.Errorf("%w: %.3f + %.3f > %.3f", ErrOvercommitted, co.contracted, q.Share(), co.capacity)
 	}
 	c := &Client{
 		name:        name,
@@ -201,20 +304,40 @@ func (co *Core) Admit(name string, q QoS, now sim.Time) (*Client, error) {
 		periodStart: now,
 		deadline:    now.Add(q.P),
 		allocations: 1,
+		seq:         co.nextSeq,
+		idx:         len(co.clients),
+		readyPos:    -1,
 	}
+	co.nextSeq++
 	co.clients = append(co.clients, c)
+	co.byName[name] = c
+	co.contracted += q.Share()
+	co.relq.push(qentry{deadline: c.deadline, seq: c.seq, c: c})
+	if co.runnable(c) {
+		co.runq.push(qentry{deadline: c.deadline, seq: c.seq, c: c})
+	}
 	return c, nil
 }
 
-// Remove deregisters a client.
+// Remove deregisters a client. Heap entries referencing it go stale and are
+// dropped lazily.
 func (co *Core) Remove(name string) error {
-	for i, c := range co.clients {
-		if c.name == name {
-			co.clients = append(co.clients[:i], co.clients[i+1:]...)
-			return nil
-		}
+	c := co.byName[name]
+	if c == nil {
+		return fmt.Errorf("%w: %q", ErrUnknown, name)
 	}
-	return fmt.Errorf("%w: %q", ErrUnknown, name)
+	c.removed = true
+	delete(co.byName, name)
+	i := c.idx
+	co.clients = append(co.clients[:i], co.clients[i+1:]...)
+	for ; i < len(co.clients); i++ {
+		co.clients[i].idx = i
+	}
+	if c.readyPos >= 0 {
+		co.readyRemove(c)
+	}
+	co.recontract()
+	return nil
 }
 
 // Refresh grants periodic allocations to every client whose deadline has
@@ -223,10 +346,17 @@ func (co *Core) Remove(name string) error {
 // counts against the new slice.
 func (co *Core) Refresh(now sim.Time) []*Client {
 	var granted []*Client
-	for _, c := range co.clients {
-		if c.deadline > now {
+	for len(co.relq) > 0 {
+		e := &co.relq[0]
+		c := e.c
+		if c.removed || c.deadline != e.deadline {
+			co.relq.pop()
 			continue
 		}
+		if e.deadline > now {
+			break
+		}
+		co.relq.pop()
 		// Catch up period boundaries without stacking slices.
 		for c.deadline <= now {
 			c.periodStart = c.deadline
@@ -242,7 +372,19 @@ func (co *Core) Refresh(now sim.Time) []*Client {
 		if c.state == Waiting || c.state == Idle {
 			c.state = Runnable
 		}
+		co.relq.push(qentry{deadline: c.deadline, seq: c.seq, c: c})
+		if co.runnable(c) {
+			co.runq.push(qentry{deadline: c.deadline, seq: c.seq, c: c})
+			if c.ready {
+				co.readyq.push(qentry{deadline: c.deadline, seq: c.seq, gen: c.readyGen, c: c})
+			}
+		}
 		granted = append(granted, c)
+	}
+	if len(granted) > 1 {
+		// The heap yields (deadline, seq) order; the contract is admission
+		// order. Deadlines mostly coincide, so this is a near-no-op sort.
+		sort.Slice(granted, func(i, j int) bool { return granted[i].seq < granted[j].seq })
 	}
 	return granted
 }
@@ -252,33 +394,94 @@ func (co *Core) runnable(c *Client) bool {
 	return c.state == Runnable && c.remain > co.MinRemain
 }
 
+// runValid reports whether a runq/readyq entry still speaks for a
+// currently-eligible client.
+func (co *Core) runValid(e *qentry) bool {
+	c := e.c
+	return !c.removed && c.deadline == e.deadline && co.runnable(c)
+}
+
 // PickEDF returns the runnable client with the earliest deadline, or nil.
 // Ties break by admission order, which is deterministic.
 func (co *Core) PickEDF() *Client {
-	var best *Client
-	for _, c := range co.clients {
-		if !co.runnable(c) {
-			continue
+	for len(co.runq) > 0 {
+		e := &co.runq[0]
+		if co.runValid(e) {
+			return e.c
 		}
-		if best == nil || c.deadline < best.deadline {
-			best = c
-		}
+		co.runq.pop()
 	}
-	return best
+	return nil
 }
 
 // PickEDFWith returns the earliest-deadline runnable client satisfying pred.
+// Entries failing only pred are kept (pred may pass on a later call); stale
+// entries are dropped. Cost grows with the number of runnable clients pred
+// rejects — drivers with many clients should maintain readiness through
+// SetReady and use PickEDFReady instead.
 func (co *Core) PickEDFWith(pred func(*Client) bool) *Client {
-	var best *Client
-	for _, c := range co.clients {
-		if !co.runnable(c) || !pred(c) {
+	co.scratch = co.scratch[:0]
+	var pick *Client
+	for len(co.runq) > 0 {
+		e := &co.runq[0]
+		if !co.runValid(e) {
+			co.runq.pop()
 			continue
 		}
-		if best == nil || c.deadline < best.deadline {
-			best = c
+		if pred(e.c) {
+			pick = e.c
+			break
 		}
+		co.scratch = append(co.scratch, co.runq.pop())
 	}
-	return best
+	for _, e := range co.scratch {
+		co.runq.push(e)
+	}
+	return pick
+}
+
+// SetReady records whether the driver has work queued for c. Readiness feeds
+// PickEDFReady and PickSlackReady; it is the indexed replacement for passing
+// a has-work predicate to every pick.
+func (co *Core) SetReady(c *Client, ready bool) {
+	if c.ready == ready || c.removed {
+		return
+	}
+	c.ready = ready
+	c.readyGen++
+	if ready {
+		c.readyPos = len(co.readyList)
+		co.readyList = append(co.readyList, c)
+		if co.runnable(c) {
+			co.readyq.push(qentry{deadline: c.deadline, seq: c.seq, gen: c.readyGen, c: c})
+		}
+		return
+	}
+	co.readyRemove(c)
+}
+
+// readyRemove drops c from the unordered ready list by swap-delete.
+func (co *Core) readyRemove(c *Client) {
+	last := len(co.readyList) - 1
+	moved := co.readyList[last]
+	co.readyList[c.readyPos] = moved
+	moved.readyPos = c.readyPos
+	co.readyList[last] = nil
+	co.readyList = co.readyList[:last]
+	c.readyPos = -1
+}
+
+// PickEDFReady returns the earliest-deadline runnable client marked ready,
+// equivalent to PickEDFWith with a ready predicate but O(log n).
+func (co *Core) PickEDFReady() *Client {
+	for len(co.readyq) > 0 {
+		e := &co.readyq[0]
+		if co.runValid(e) && e.c.ready && e.c.readyGen == e.gen {
+			return e.c
+		}
+		co.readyq.pop()
+	}
+	return nil
 }
 
 // PickSlack returns the next slack-eligible (x=true) client satisfying pred,
@@ -294,6 +497,37 @@ func (co *Core) PickSlack(pred func(*Client) bool) *Client {
 		}
 	}
 	return nil
+}
+
+// PickSlackReady is PickSlack with a ready predicate, scanning only the
+// ready set: it returns the slack-eligible ready client closest after the
+// round-robin cursor and advances the cursor past it — exactly the client
+// the linear scan would have stopped at.
+func (co *Core) PickSlackReady() *Client {
+	n := len(co.clients)
+	if n == 0 {
+		return nil
+	}
+	var best *Client
+	bestDist := n
+	for _, c := range co.readyList {
+		if !c.qos.X {
+			continue
+		}
+		d := (c.idx - co.slackIdx) % n
+		if d < 0 {
+			d += n
+		}
+		if d < bestDist {
+			bestDist = d
+			best = c
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	co.slackIdx = (best.idx + 1) % n
+	return best
 }
 
 // Charge debits d of real service time from c. If the balance reaches zero
@@ -340,13 +574,12 @@ func (co *Core) Idle(c *Client) {
 // instant at which Refresh will grant an allocation — or ok=false if there
 // are no clients.
 func (co *Core) NextBoundary() (sim.Time, bool) {
-	var best sim.Time
-	found := false
-	for _, c := range co.clients {
-		if !found || c.deadline < best {
-			best = c.deadline
-			found = true
+	for len(co.relq) > 0 {
+		e := &co.relq[0]
+		if !e.c.removed && e.c.deadline == e.deadline {
+			return e.deadline, true
 		}
+		co.relq.pop()
 	}
-	return best, found
+	return 0, false
 }

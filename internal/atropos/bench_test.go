@@ -1,6 +1,7 @@
 package atropos
 
 import (
+	"strconv"
 	"testing"
 	"time"
 
@@ -27,6 +28,62 @@ func BenchmarkPickEDF16(b *testing.B) {
 		if co.PickEDF() == nil {
 			b.Fatal("no pick")
 		}
+	}
+}
+
+// BenchmarkTick drives the per-quantum scheduler operation mix — a refresh
+// (a no-op except at period boundaries, which grant the whole population), a
+// pick over the ready set, and a charge — advancing simulated time 1ms per
+// iteration at growing client populations. The indexed core keeps the
+// common-case tick O(log n); the linear reference (BenchmarkReferenceTick)
+// pays a full population scan on every refresh and every pick, including
+// picks that find nothing.
+func BenchmarkTick(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			co := benchCore(b, n)
+			for _, c := range co.Clients() {
+				co.SetReady(c, true)
+			}
+			now := sim.Time(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now = now.Add(time.Millisecond)
+				co.Refresh(now)
+				if c := co.PickEDFReady(); c != nil {
+					co.Charge(c, time.Millisecond)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReferenceTick is the same quantum tick on the retained linear
+// core, for side-by-side comparison of the scans the index replaces.
+func BenchmarkReferenceTick(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			co := NewReferenceCore(1.0)
+			slice := time.Duration(int64(200*time.Millisecond) / int64(n))
+			for i := 0; i < n; i++ {
+				name := "c" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+				if _, err := co.Admit(name, QoS{P: 250 * time.Millisecond, S: slice, L: 10 * time.Millisecond}, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ready := func(*ReferenceClient) bool { return true }
+			now := sim.Time(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now = now.Add(time.Millisecond)
+				co.Refresh(now)
+				if c := co.PickEDFWith(ready); c != nil {
+					co.Charge(c, time.Millisecond)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,283 @@
+package atropos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"nemesis/internal/sim"
+)
+
+// The equivalence suite co-runs the indexed Core against the retained linear
+// ReferenceCore over seeded random operation sequences — admissions,
+// removals, overruns, laxity churn, slack churn, readiness flips — and
+// requires every observable decision and every piece of client state to be
+// identical after every operation. This is the contract that makes the heap
+// refactor "pure": same inputs, same scheduling, bit for bit.
+
+// pair drives both cores in lockstep.
+type pair struct {
+	t     *testing.T
+	seed  int64
+	heap  *Core
+	ref   *ReferenceCore
+	ready map[string]bool // driver-side work availability, mirrored via SetReady
+	now   sim.Time
+	step  int
+}
+
+func newPair(t *testing.T, seed int64, capacity float64, minRemain time.Duration) *pair {
+	p := &pair{
+		t:     t,
+		seed:  seed,
+		heap:  NewCore(capacity),
+		ref:   NewReferenceCore(capacity),
+		ready: make(map[string]bool),
+	}
+	p.heap.MinRemain = minRemain
+	p.ref.MinRemain = minRemain
+	return p
+}
+
+func (p *pair) fatalf(format string, args ...any) {
+	p.t.Helper()
+	p.t.Fatalf("seed %d step %d: %s", p.seed, p.step, fmt.Sprintf(format, args...))
+}
+
+// checkState compares the full client population of both cores.
+func (p *pair) checkState() {
+	p.t.Helper()
+	hc, rc := p.heap.Clients(), p.ref.Clients()
+	if len(hc) != len(rc) {
+		p.fatalf("client count: heap %d ref %d", len(hc), len(rc))
+	}
+	for i := range hc {
+		h, r := hc[i], rc[i]
+		if h.name != r.name || h.qos != r.qos || h.state != r.state ||
+			h.remain != r.remain || h.deadline != r.deadline ||
+			h.periodStart != r.periodStart || h.laxSpan != r.laxSpan ||
+			h.allocations != r.allocations || h.charged != r.charged ||
+			h.laxCharged != r.laxCharged {
+			p.fatalf("client %d diverged:\n heap %q %v remain=%v dl=%v ps=%v lax=%v alloc=%d chg=%v laxchg=%v\n ref  %q %v remain=%v dl=%v ps=%v lax=%v alloc=%d chg=%v laxchg=%v",
+				i,
+				h.name, h.state, h.remain, h.deadline, h.periodStart, h.laxSpan, h.allocations, h.charged, h.laxCharged,
+				r.name, r.state, r.remain, r.deadline, r.periodStart, r.laxSpan, r.allocations, r.charged, r.laxCharged)
+		}
+	}
+	if p.heap.Contracted() != p.ref.Contracted() {
+		p.fatalf("contracted: heap %v ref %v", p.heap.Contracted(), p.ref.Contracted())
+	}
+}
+
+func cname(c *Client) string {
+	if c == nil {
+		return "<nil>"
+	}
+	return c.name
+}
+
+func rname(c *ReferenceClient) string {
+	if c == nil {
+		return "<nil>"
+	}
+	return c.name
+}
+
+// pickClient returns a random admitted client (heap view) or nil.
+func (p *pair) pickClient(rng *rand.Rand) (*Client, *ReferenceClient) {
+	cs := p.heap.Clients()
+	if len(cs) == 0 {
+		return nil, nil
+	}
+	c := cs[rng.Intn(len(cs))]
+	return c, p.ref.Lookup(c.name)
+}
+
+func randQoS(rng *rand.Rand) QoS {
+	periods := []time.Duration{10, 20, 50, 100}
+	pd := periods[rng.Intn(len(periods))] * time.Millisecond
+	return QoS{
+		P: pd,
+		S: time.Duration(1 + rng.Int63n(int64(pd))),
+		X: rng.Intn(2) == 0,
+		L: time.Duration(rng.Int63n(int64(5 * time.Millisecond))),
+	}
+}
+
+func (p *pair) run(rng *rand.Rand, ops int) {
+	p.t.Helper()
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for p.step = 0; p.step < ops; p.step++ {
+		switch op := rng.Intn(16); op {
+		case 0, 1: // admit (often over capacity — errors must agree)
+			name := names[rng.Intn(len(names))]
+			q := randQoS(rng)
+			hc, herr := p.heap.Admit(name, q, p.now)
+			rc, rerr := p.ref.Admit(name, q, p.now)
+			if (herr == nil) != (rerr == nil) {
+				p.fatalf("admit %q: heap err %v, ref err %v", name, herr, rerr)
+			}
+			if herr != nil {
+				if !errors.Is(herr, ErrOvercommitted) && !errors.Is(herr, ErrDuplicate) && !errors.Is(herr, ErrBadQoS) {
+					p.fatalf("admit %q: unexpected error %v", name, herr)
+				}
+				if herr.Error() != rerr.Error() {
+					p.fatalf("admit %q: error text heap %q ref %q", name, herr, rerr)
+				}
+				continue
+			}
+			if hc.name != rc.name {
+				p.fatalf("admit returned %q vs %q", hc.name, rc.name)
+			}
+		case 2: // remove
+			name := names[rng.Intn(len(names))]
+			herr := p.heap.Remove(name)
+			rerr := p.ref.Remove(name)
+			if (herr == nil) != (rerr == nil) {
+				p.fatalf("remove %q: heap err %v, ref err %v", name, herr, rerr)
+			}
+			delete(p.ready, name)
+		case 3, 4: // charge, sometimes into overrun
+			hc, rc := p.pickClient(rng)
+			if hc == nil {
+				continue
+			}
+			d := time.Duration(rng.Int63n(int64(2 * hc.qos.S)))
+			p.heap.Charge(hc, d)
+			p.ref.Charge(rc, d)
+		case 5: // lax charge
+			hc, rc := p.pickClient(rng)
+			if hc == nil {
+				continue
+			}
+			d := time.Duration(rng.Int63n(int64(2 * time.Millisecond)))
+			p.heap.ChargeLax(hc, d)
+			p.ref.ChargeLax(rc, d)
+		case 6: // note work
+			hc, rc := p.pickClient(rng)
+			if hc == nil {
+				continue
+			}
+			p.heap.NoteWork(hc)
+			p.ref.NoteWork(rc)
+		case 7: // park idle
+			hc, rc := p.pickClient(rng)
+			if hc == nil {
+				continue
+			}
+			p.heap.Idle(hc)
+			p.ref.Idle(rc)
+		case 8: // readiness flip
+			hc, _ := p.pickClient(rng)
+			if hc == nil {
+				continue
+			}
+			r := rng.Intn(2) == 0
+			p.ready[hc.name] = r
+			p.heap.SetReady(hc, r)
+		case 9, 10: // refresh after a time step (occasionally a long gap)
+			var dt time.Duration
+			if rng.Intn(8) == 0 {
+				dt = time.Duration(rng.Int63n(int64(500 * time.Millisecond)))
+			} else {
+				dt = time.Duration(rng.Int63n(int64(30 * time.Millisecond)))
+			}
+			p.now = p.now.Add(dt)
+			hg := p.heap.Refresh(p.now)
+			rg := p.ref.Refresh(p.now)
+			if len(hg) != len(rg) {
+				p.fatalf("refresh granted %d vs %d", len(hg), len(rg))
+			}
+			for i := range hg {
+				if hg[i].name != rg[i].name {
+					p.fatalf("refresh grant %d: %q vs %q", i, hg[i].name, rg[i].name)
+				}
+			}
+		case 11: // EDF pick
+			if got, want := cname(p.heap.PickEDF()), rname(p.ref.PickEDF()); got != want {
+				p.fatalf("PickEDF: heap %q ref %q", got, want)
+			}
+		case 12: // predicated EDF pick (readiness as the predicate)
+			got := cname(p.heap.PickEDFWith(func(c *Client) bool { return p.ready[c.name] }))
+			want := rname(p.ref.PickEDFWith(func(c *ReferenceClient) bool { return p.ready[c.name] }))
+			if got != want {
+				p.fatalf("PickEDFWith(ready): heap %q ref %q", got, want)
+			}
+			if indexed := cname(p.heap.PickEDFReady()); indexed != want {
+				p.fatalf("PickEDFReady: heap %q ref-pred %q", indexed, want)
+			}
+		case 13: // slack round-robin over the ready set (advances both cursors)
+			got := cname(p.heap.PickSlackReady())
+			want := rname(p.ref.PickSlack(func(c *ReferenceClient) bool { return p.ready[c.name] }))
+			if got != want {
+				p.fatalf("PickSlackReady: heap %q ref %q", got, want)
+			}
+			if p.heap.slackIdx != p.ref.slackIdx {
+				p.fatalf("slack cursor: heap %d ref %d", p.heap.slackIdx, p.ref.slackIdx)
+			}
+		case 14: // generic slack pick with an unconditional predicate
+			got := cname(p.heap.PickSlack(func(*Client) bool { return true }))
+			want := rname(p.ref.PickSlack(func(*ReferenceClient) bool { return true }))
+			if got != want {
+				p.fatalf("PickSlack(true): heap %q ref %q", got, want)
+			}
+		case 15: // next period boundary
+			hb, hok := p.heap.NextBoundary()
+			rb, rok := p.ref.NextBoundary()
+			if hok != rok || (hok && hb != rb) {
+				p.fatalf("NextBoundary: heap %v,%v ref %v,%v", hb, hok, rb, rok)
+			}
+		}
+		p.checkState()
+	}
+}
+
+// TestHeapMatchesReference is the headline equivalence property: 1,200
+// seeded random contract sets, each driven through ~150 operations on both
+// implementations in lockstep.
+func TestHeapMatchesReference(t *testing.T) {
+	seqs := 1200
+	if testing.Short() {
+		seqs = 200
+	}
+	for seed := 0; seed < seqs; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		// A quarter of the sequences exercise a non-zero roll-over
+		// threshold; it must be fixed before operations begin (see the
+		// package comment on lazy invalidation).
+		var minRemain time.Duration
+		if seed%4 == 0 {
+			minRemain = 100 * time.Microsecond
+		}
+		capacity := 1.0
+		if seed%5 == 0 {
+			capacity = 3.0 // roomy admission → bigger populations
+		}
+		p := newPair(t, int64(seed), capacity, minRemain)
+		p.run(rng, 150)
+	}
+}
+
+// TestHeapMatchesReferenceLargePopulation stresses the heaps with hundreds
+// of concurrent clients per core (high capacity, rare removals).
+func TestHeapMatchesReferenceLargePopulation(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		p := newPair(t, seed, 1e9, 0)
+		// Admit a few hundred uniquely named clients into both cores.
+		for i := 0; i < 300; i++ {
+			name := fmt.Sprintf("d%d", i)
+			q := randQoS(rng)
+			if _, err := p.heap.Admit(name, q, p.now); err != nil {
+				t.Fatalf("heap admit: %v", err)
+			}
+			if _, err := p.ref.Admit(name, q, p.now); err != nil {
+				t.Fatalf("ref admit: %v", err)
+			}
+		}
+		p.checkState()
+		p.run(rng, 400)
+	}
+}

@@ -103,6 +103,7 @@ type System struct {
 	nextID   mem.DomainID
 	monitor  *obs.CrosstalkMonitor
 	recorder *obs.Recorder
+	tracker  *domain.ActivityTracker
 }
 
 // ForceTelemetry, when set, overrides Config.Telemetry for every System
@@ -174,6 +175,9 @@ func New(cfg Config) *System {
 		domains: make(map[mem.DomainID]*domain.Domain),
 		nextID:  1, // 0 is the system domain
 	}
+	if reg != nil {
+		sys.tracker = domain.NewActivityTracker()
+	}
 	if cfg.RevocationTimeout > 0 {
 		frames.RevocationTimeout = cfg.RevocationTimeout
 	}
@@ -222,6 +226,7 @@ func (sys *System) NewDomain(name string, cpuQoS atropos.QoS, ct mem.Contract) (
 	memc.SetTelemetryName(name)
 	sys.domains[id] = dom
 	sys.nextID++
+	sys.tracker.Register(dom)
 	if sys.recorder != nil {
 		sys.trackDomain(sys.recorder, dom)
 	}

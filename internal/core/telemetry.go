@@ -36,6 +36,36 @@ func (sys *System) StartCrosstalkMonitor(cfg obs.CrosstalkConfig) *obs.Crosstalk
 	return sys.monitor
 }
 
+// StartIncrementalCrosstalkMonitor is StartCrosstalkMonitor with the
+// changed-domains-only sampling source: per window the monitor touches only
+// domains whose fault/progress/revocation counters actually moved (plus
+// domains still cooling off), so thousands of idle domains cost nothing.
+// Detection is equivalent to the full scan; see
+// obs.NewIncrementalCrosstalkMonitor for the precise contract.
+func (sys *System) StartIncrementalCrosstalkMonitor(cfg obs.CrosstalkConfig) *obs.CrosstalkMonitor {
+	if sys.Obs == nil {
+		return nil
+	}
+	sample := func() ([]obs.DomainSample, obs.Pressure) {
+		changed := sys.tracker.Drain()
+		out := make([]obs.DomainSample, 0, len(changed))
+		for _, d := range changed {
+			st := d.Stats()
+			out = append(out, obs.DomainSample{
+				Name:        d.Name(),
+				Faults:      st.Faults,
+				Progress:    st.BytesTouched,
+				Revocations: st.Revocations,
+				Order:       d.ActivityOrder(),
+			})
+		}
+		return out, obs.Pressure{FreeFrames: sys.Frames.FreeFrames()}
+	}
+	sys.monitor = obs.NewIncrementalCrosstalkMonitor(sys.Obs, sys.Sim, cfg, sample)
+	sys.monitor.Start()
+	return sys.monitor
+}
+
 // CrosstalkMonitor returns the running monitor, or nil.
 func (sys *System) CrosstalkMonitor() *obs.CrosstalkMonitor { return sys.monitor }
 

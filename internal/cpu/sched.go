@@ -25,14 +25,14 @@ type Scheduler struct {
 
 	busy    bool
 	waiters map[string]*waiter
+	pending int // waiting threads across all domains
 	order   []string
 	timer   sim.Timer
 
-	// Pre-bound callbacks: schedule/acquire/release run on every quantum of
-	// every computing domain, and method values or closures created at the
-	// call site would allocate each time.
-	scheduleFn  func()
-	hasWaiterFn func(ac *atropos.Client) bool
+	// Pre-bound callback: schedule runs on every quantum of every computing
+	// domain, and a method value created at the call site would allocate
+	// each time.
+	scheduleFn func()
 }
 
 type waiter struct {
@@ -58,7 +58,6 @@ func NewScheduler(s *sim.Simulator) *Scheduler {
 		waiters: make(map[string]*waiter),
 	}
 	sc.scheduleFn = sc.schedule
-	sc.hasWaiterFn = sc.hasWaiter
 	return sc
 }
 
@@ -83,6 +82,9 @@ func (s *Scheduler) Remove(name string) error {
 	if err := s.core.Remove(name); err != nil {
 		return err
 	}
+	if w := s.waiters[name]; w != nil {
+		s.pending -= w.pending
+	}
 	delete(s.waiters, name)
 	for i, n := range s.order {
 		if n == name {
@@ -102,35 +104,24 @@ func (d *DomainCPU) Name() string { return d.name }
 // Charged returns total CPU time charged to the domain.
 func (d *DomainCPU) Charged() time.Duration { return d.ac.Charged() }
 
-// hasWaiter reports whether the client has a thread waiting for CPU.
-func (s *Scheduler) hasWaiter(ac *atropos.Client) bool {
-	w, ok := s.waiters[ac.Name()]
-	return ok && w.pending > 0
-}
-
 // schedule grants the CPU to the best waiter, if the CPU is idle. Called
-// whenever scheduler state changes.
+// whenever scheduler state changes. Work availability is mirrored into the
+// core's ready set by acquire, so the picks run off the readiness index
+// instead of scanning every admitted client with a has-waiter predicate.
 func (s *Scheduler) schedule() {
 	if s.busy {
 		return
 	}
 	s.core.Refresh(s.sim.Now())
-	pick := s.core.PickEDFWith(s.hasWaiterFn)
+	pick := s.core.PickEDFReady()
 	if pick == nil {
 		// Slack: hand idle CPU to any x=true waiter round-robin.
-		pick = s.core.PickSlack(s.hasWaiterFn)
+		pick = s.core.PickSlackReady()
 	}
 	if pick == nil {
 		// Nothing runnable now; if threads are waiting on exhausted
 		// slices, wake up at the next period boundary.
-		anyWaiting := false
-		for _, w := range s.waiters {
-			if w.pending > 0 {
-				anyWaiting = true
-				break
-			}
-		}
-		if anyWaiting {
+		if s.pending > 0 {
 			if b, ok := s.core.NextBoundary(); ok {
 				s.timer.Stop()
 				s.timer = s.sim.At(b, s.scheduleFn)
@@ -146,10 +137,18 @@ func (s *Scheduler) schedule() {
 func (s *Scheduler) acquire(p *sim.Proc, d *DomainCPU) {
 	w := d.w
 	w.pending++
+	s.pending++
+	if w.pending == 1 {
+		s.core.SetReady(d.ac, true)
+	}
 	d.attr.CPUWait()
 	s.sim.At(s.sim.Now(), s.scheduleFn)
 	w.cond.Wait(p)
 	w.pending--
+	s.pending--
+	if w.pending == 0 {
+		s.core.SetReady(d.ac, false)
+	}
 	d.attr.CPURun()
 }
 

@@ -131,6 +131,13 @@ type Domain struct {
 	cFast        *obs.Counter
 	cWorker      *obs.Counter
 	cRevocations *obs.Counter
+
+	// Activity tracking for the incremental crosstalk monitor (nil tracker
+	// → markActive is a no-op).
+	tracker    *ActivityTracker
+	trackOrder int64
+	trackFresh bool
+	trackDirty bool
 }
 
 // New creates a domain. pd/cpuDom/memc come from the system facade, which
@@ -286,6 +293,7 @@ func (d *Domain) RevokeNotification(k int, deadline sim.Time) {
 	}
 	d.revokeEvent.Send()
 	d.stats.Revocations++
+	d.markActive()
 	d.cRevocations.Inc()
 	d.mm.enqueueRevocation(k)
 }
@@ -301,6 +309,7 @@ func (d *Domain) dispatchFault(t *Thread, f *vm.Fault) error {
 		return ErrKilled
 	}
 	d.stats.Faults++
+	d.markActive()
 	switch f.Class {
 	case vm.PageFault:
 		d.stats.PageFaults++

@@ -82,6 +82,7 @@ func (t *Thread) Touch(va vm.VA, n int, acc vm.Access) error {
 		}
 		t.Compute(time.Duration(chunk) * t.dom.env.Costs.ComputePerByte)
 		t.dom.stats.BytesTouched += int64(chunk)
+		t.dom.markActive()
 		va += vm.VA(chunk)
 		n -= chunk
 	}
@@ -105,6 +106,7 @@ func (t *Thread) WriteAt(va vm.VA, data []byte) error {
 		copy(frame[off:off+chunk], data[:chunk])
 		t.Compute(time.Duration(chunk) * t.dom.env.Costs.ComputePerByte)
 		t.dom.stats.BytesTouched += int64(chunk)
+		t.dom.markActive()
 		va += vm.VA(chunk)
 		data = data[chunk:]
 	}
@@ -127,6 +129,7 @@ func (t *Thread) ReadAt(va vm.VA, buf []byte) error {
 		copy(buf[:chunk], frame[off:off+chunk])
 		t.Compute(time.Duration(chunk) * t.dom.env.Costs.ComputePerByte)
 		t.dom.stats.BytesTouched += int64(chunk)
+		t.dom.markActive()
 		va += vm.VA(chunk)
 		buf = buf[chunk:]
 	}

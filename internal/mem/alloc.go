@@ -27,19 +27,51 @@ type Contract struct {
 	Optimistic uint64
 }
 
+// DefaultColours is the number of cache colours the allocator indexes by
+// default (SetColourCount rebuilds for other platforms).
+const DefaultColours = 8
+
+// freeNode is one slot of the PFN-indexed free-frame table. Free frames are
+// threaded onto two intrusive doubly-linked lists: the global FIFO queue
+// (whose order is exactly the order of the old free-list slice — ascending at
+// init, freed frames appended at the tail) and the sublist of their cache
+// colour. Links are PFNs; -1 terminates.
+type freeNode struct {
+	prev, next   int32 // global FIFO queue
+	cprev, cnext int32 // per-colour sublist
+	free         bool
+}
+
 // FramesAllocator is the central physical-memory allocator. Unlike a
 // general-purpose OS it performs no system-wide load balancing: each domain
 // has a contract, and contention is resolved by revoking optimistically
 // allocated frames — with the *selection* of which frames to lose under the
 // control of the losing application (via its frame stack).
+//
+// The free set is indexed three ways so the allocation paths scale with the
+// request, not with memory size: the FIFO queue gives O(1) unspecific
+// allocation and O(1) removal by PFN (AllocSpecific), the colour sublists
+// give O(1) AllocColoured for the indexed colour count, and an occupancy
+// bitmap backs AllocContiguous with word-at-a-time aligned-run probes plus
+// an exhaustion fast path. All three stay exactly consistent with the old
+// single-slice semantics: same allocation order, same selections.
 type FramesAllocator struct {
 	sim    *sim.Simulator
 	store  *FrameStore
 	ramtab *RamTab
 
-	freeList []PFN // ascending
-	clients  map[DomainID]*Client
-	freed    *sim.Cond
+	nodes      []freeNode
+	freeHead   int32
+	freeTail   int32
+	colourHead []int32
+	colourTail []int32
+	ncolours   int
+	nfree      int
+	freeBits   []uint64 // bit set = frame free
+	guaranteed uint64   // running sum of admitted guarantees
+
+	clients map[DomainID]*Client
+	freed   *sim.Cond
 
 	// RevocationTimeout is the deadline T granted to intrusive
 	// revocations (the paper suggests ~100 ms, "relatively far in the
@@ -71,7 +103,7 @@ func (fa *FramesAllocator) SetObs(r *obs.Registry) {
 	fa.cIntrusive = r.Counter("frames", "revocations_intrusive", "")
 	fa.cTimeouts = r.Counter("frames", "revocation_timeouts", "")
 	fa.hRevoke = r.Histogram("frames", "revocation_latency", "")
-	fa.gFree.Set(int64(len(fa.freeList)))
+	fa.gFree.Set(int64(fa.nfree))
 }
 
 // NewFramesAllocator creates an allocator over store/ramtab (which must
@@ -85,10 +117,112 @@ func NewFramesAllocator(s *sim.Simulator, store *FrameStore, ramtab *RamTab) *Fr
 		freed:             sim.NewCond(s),
 		RevocationTimeout: 100 * time.Millisecond,
 	}
-	for i := 0; i < store.NFrames(); i++ {
-		fa.freeList = append(fa.freeList, PFN(i))
-	}
+	fa.initIndex(DefaultColours)
 	return fa
+}
+
+// initIndex (re)builds the free-frame index with every frame free, in
+// ascending queue order.
+func (fa *FramesAllocator) initIndex(ncolours int) {
+	n := fa.store.NFrames()
+	fa.nodes = make([]freeNode, n)
+	fa.freeBits = make([]uint64, (n+63)/64)
+	fa.ncolours = ncolours
+	fa.colourHead = make([]int32, ncolours)
+	fa.colourTail = make([]int32, ncolours)
+	fa.freeHead, fa.freeTail = -1, -1
+	for i := range fa.colourHead {
+		fa.colourHead[i], fa.colourTail[i] = -1, -1
+	}
+	fa.nfree = 0
+	for i := 0; i < n; i++ {
+		fa.pushTail(PFN(i))
+	}
+}
+
+// SetColourCount re-indexes the colour sublists for a platform with n cache
+// colours. Call before any allocation: the rebuild requires every frame
+// free. AllocColoured requests for a different colour count fall back to the
+// queue walk.
+func (fa *FramesAllocator) SetColourCount(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("mem: bad colour count %d", n)
+	}
+	if fa.nfree != fa.store.NFrames() {
+		return fmt.Errorf("mem: cannot re-colour with %d frames allocated",
+			fa.store.NFrames()-fa.nfree)
+	}
+	fa.initIndex(n)
+	return nil
+}
+
+// pushTail appends a free frame at the tail of the FIFO queue and its colour
+// sublist — the same position a freed PFN took in the old append-to-slice
+// scheme.
+func (fa *FramesAllocator) pushTail(pfn PFN) {
+	nd := &fa.nodes[pfn]
+	if nd.free {
+		panic(fmt.Sprintf("mem: frame %d freed twice", pfn))
+	}
+	nd.free = true
+	nd.next, nd.prev = -1, fa.freeTail
+	if fa.freeTail >= 0 {
+		fa.nodes[fa.freeTail].next = int32(pfn)
+	} else {
+		fa.freeHead = int32(pfn)
+	}
+	fa.freeTail = int32(pfn)
+	colour := int(pfn) % fa.ncolours
+	nd.cnext, nd.cprev = -1, fa.colourTail[colour]
+	if fa.colourTail[colour] >= 0 {
+		fa.nodes[fa.colourTail[colour]].cnext = int32(pfn)
+	} else {
+		fa.colourHead[colour] = int32(pfn)
+	}
+	fa.colourTail[colour] = int32(pfn)
+	fa.freeBits[pfn>>6] |= 1 << (uint(pfn) & 63)
+	fa.nfree++
+}
+
+// unlink removes a free frame from the queue, its colour sublist and the
+// bitmap, by PFN, in O(1).
+func (fa *FramesAllocator) unlink(pfn PFN) {
+	nd := &fa.nodes[pfn]
+	if !nd.free {
+		panic(fmt.Sprintf("mem: frame %d taken while not free", pfn))
+	}
+	nd.free = false
+	if nd.prev >= 0 {
+		fa.nodes[nd.prev].next = nd.next
+	} else {
+		fa.freeHead = nd.next
+	}
+	if nd.next >= 0 {
+		fa.nodes[nd.next].prev = nd.prev
+	} else {
+		fa.freeTail = nd.prev
+	}
+	colour := int(pfn) % fa.ncolours
+	if nd.cprev >= 0 {
+		fa.nodes[nd.cprev].cnext = nd.cnext
+	} else {
+		fa.colourHead[colour] = nd.cnext
+	}
+	if nd.cnext >= 0 {
+		fa.nodes[nd.cnext].cprev = nd.cprev
+	} else {
+		fa.colourTail[colour] = nd.cprev
+	}
+	fa.freeBits[pfn>>6] &^= 1 << (uint(pfn) & 63)
+	fa.nfree--
+}
+
+// popHead takes the frame at the head of the FIFO queue (the frame the old
+// slice scheme served first).
+func (fa *FramesAllocator) popHead() PFN {
+	pfn := PFN(fa.freeHead)
+	fa.unlink(pfn)
+	return pfn
 }
 
 // Store returns the frame store.
@@ -98,16 +232,10 @@ func (fa *FramesAllocator) Store() *FrameStore { return fa.store }
 func (fa *FramesAllocator) RamTab() *RamTab { return fa.ramtab }
 
 // FreeFrames returns the number of frames on the free list.
-func (fa *FramesAllocator) FreeFrames() int { return len(fa.freeList) }
+func (fa *FramesAllocator) FreeFrames() int { return fa.nfree }
 
 // GuaranteedTotal returns the sum of admitted guarantees.
-func (fa *FramesAllocator) GuaranteedTotal() uint64 {
-	var total uint64
-	for _, c := range fa.clients {
-		total += c.contract.Guaranteed
-	}
-	return total
-}
+func (fa *FramesAllocator) GuaranteedTotal() uint64 { return fa.guaranteed }
 
 // Client is one domain's view of the frames allocator: its contract, its
 // allocation count and its frame stack. The allocator maintains the tuple
@@ -159,7 +287,7 @@ func (c *Client) SetTelemetryName(name string) {
 func (c *Client) updateGauges() {
 	c.gHeld.Set(int64(c.n))
 	c.gStack.Set(int64(len(c.stack.Entries())))
-	c.fa.gFree.Set(int64(len(c.fa.freeList)))
+	c.fa.gFree.Set(int64(c.fa.nfree))
 }
 
 // Admit registers a domain with contract ct. Admission control ensures the
@@ -169,9 +297,9 @@ func (fa *FramesAllocator) Admit(domain DomainID, ct Contract, h RevocationHandl
 	if _, dup := fa.clients[domain]; dup {
 		return nil, fmt.Errorf("%w: %d", ErrAlreadyAdmitted, domain)
 	}
-	if fa.GuaranteedTotal()+ct.Guaranteed > uint64(fa.store.NFrames()) {
+	if fa.guaranteed+ct.Guaranteed > uint64(fa.store.NFrames()) {
 		return nil, fmt.Errorf("%w: %d + %d > %d frames", ErrOverbooked,
-			fa.GuaranteedTotal(), ct.Guaranteed, fa.store.NFrames())
+			fa.guaranteed, ct.Guaranteed, fa.store.NFrames())
 	}
 	c := &Client{fa: fa, domain: domain, contract: ct, handler: h,
 		label: fmt.Sprintf("dom%d", domain)}
@@ -179,6 +307,7 @@ func (fa *FramesAllocator) Admit(domain DomainID, ct Contract, h RevocationHandl
 		c.initTelemetry(c.label)
 	}
 	fa.clients[domain] = c
+	fa.guaranteed += ct.Guaranteed
 	return c, nil
 }
 
@@ -196,6 +325,7 @@ func (fa *FramesAllocator) Remove(domain DomainID) error {
 		return fmt.Errorf("mem: domain %d still holds %d frames", domain, c.n)
 	}
 	delete(fa.clients, domain)
+	fa.guaranteed -= c.contract.Guaranteed
 	return nil
 }
 
@@ -219,13 +349,6 @@ func (c *Client) Stack() *FrameStack { return &c.stack }
 // revocation.
 func (c *Client) Killed() bool { return c.killed }
 
-// takeFree removes and returns a specific free-list index.
-func (fa *FramesAllocator) takeFree(i int) PFN {
-	pfn := fa.freeList[i]
-	fa.freeList = append(fa.freeList[:i], fa.freeList[i+1:]...)
-	return pfn
-}
-
 // grant hands pfn to c.
 func (fa *FramesAllocator) grant(c *Client, pfn PFN) {
 	fa.ramtab.Grant(pfn, c.domain, 0)
@@ -247,10 +370,10 @@ func (c *Client) TryAllocFrame() (PFN, error) {
 		// domain is at quota, and formatting a fresh error there dominates.
 		return 0, ErrQuota
 	}
-	if len(c.fa.freeList) == 0 {
+	if c.fa.nfree == 0 {
 		return 0, ErrNoMemory
 	}
-	pfn := c.fa.takeFree(0)
+	pfn := c.fa.popHead()
 	c.fa.grant(c, pfn)
 	return pfn, nil
 }
@@ -301,12 +424,11 @@ func (c *Client) AllocSpecific(pfn PFN) error {
 	if c.n >= c.contract.Guaranteed+c.contract.Optimistic {
 		return fmt.Errorf("%w: n=%d", ErrQuota, c.n)
 	}
-	for i, f := range c.fa.freeList {
-		if f == pfn {
-			c.fa.takeFree(i)
-			c.fa.grant(c, pfn)
-			return nil
-		}
+	fa := c.fa
+	if int(pfn) < len(fa.nodes) && fa.nodes[pfn].free {
+		fa.unlink(pfn)
+		fa.grant(c, pfn)
+		return nil
 	}
 	return fmt.Errorf("%w: frame %d not free", ErrNoMemory, pfn)
 }
@@ -326,11 +448,25 @@ func (c *Client) AllocColoured(colour, ncolours int) (PFN, error) {
 	if c.n >= c.contract.Guaranteed+c.contract.Optimistic {
 		return 0, fmt.Errorf("%w: n=%d", ErrQuota, c.n)
 	}
-	for i, f := range c.fa.freeList {
-		if int(f)%ncolours == colour {
-			c.fa.takeFree(i)
-			c.fa.grant(c, f)
-			return f, nil
+	fa := c.fa
+	if ncolours == fa.ncolours {
+		// Indexed colour: the sublist head is the first frame of this
+		// colour in queue order — the frame the old slice scan found.
+		if head := fa.colourHead[colour]; head >= 0 {
+			pfn := PFN(head)
+			fa.unlink(pfn)
+			fa.grant(c, pfn)
+			return pfn, nil
+		}
+		return 0, fmt.Errorf("%w: no free frame of colour %d/%d", ErrNoMemory, colour, ncolours)
+	}
+	// Unindexed colour count: walk the queue in allocation order.
+	for i := fa.freeHead; i >= 0; i = fa.nodes[i].next {
+		if int(i)%ncolours == colour {
+			pfn := PFN(i)
+			fa.unlink(pfn)
+			fa.grant(c, pfn)
+			return pfn, nil
 		}
 	}
 	return 0, fmt.Errorf("%w: no free frame of colour %d/%d", ErrNoMemory, colour, ncolours)
@@ -350,35 +486,42 @@ func (c *Client) AllocContiguous(n int) (PFN, error) {
 	if c.n+uint64(n) > c.contract.Guaranteed+c.contract.Optimistic {
 		return 0, fmt.Errorf("%w: n=%d + %d", ErrQuota, c.n, n)
 	}
-	// The free list is kept unsorted after frees; scan for an aligned run
-	// present in its entirety.
-	free := make(map[PFN]bool, len(c.fa.freeList))
-	for _, f := range c.fa.freeList {
-		free[f] = true
+	fa := c.fa
+	// Exhaustion fast path: fewer free frames than the run needs means no
+	// scan can succeed — fragmented memory used to pay a full rescan here.
+	if fa.nfree < n {
+		return 0, fmt.Errorf("%w: no aligned free run of %d frames", ErrNoMemory, n)
 	}
-	for base := PFN(0); int(base)+n <= c.fa.store.NFrames(); base += PFN(n) {
-		run := true
-		for i := 0; i < n; i++ {
-			if !free[base+PFN(i)] {
-				run = false
-				break
-			}
-		}
-		if !run {
+	// Probe aligned bases in the occupancy bitmap, lowest first — the same
+	// base selection as the old full scan, without materialising a set.
+	for base := PFN(0); int(base)+n <= fa.store.NFrames(); base += PFN(n) {
+		if !fa.runFree(base, n) {
 			continue
 		}
 		for i := 0; i < n; i++ {
-			for j, f := range c.fa.freeList {
-				if f == base+PFN(i) {
-					c.fa.takeFree(j)
-					break
-				}
-			}
-			c.fa.grant(c, base+PFN(i))
+			fa.unlink(base + PFN(i))
+			fa.grant(c, base+PFN(i))
 		}
 		return base, nil
 	}
 	return 0, fmt.Errorf("%w: no aligned free run of %d frames", ErrNoMemory, n)
+}
+
+// runFree reports whether frames [base, base+n) are all free. n is a power
+// of two and base is n-aligned, so runs of 64+ frames cover whole bitmap
+// words and shorter runs sit within one word.
+func (fa *FramesAllocator) runFree(base PFN, n int) bool {
+	if n >= 64 {
+		w := int(base) >> 6
+		for k := 0; k < n>>6; k++ {
+			if fa.freeBits[w+k] != ^uint64(0) {
+				return false
+			}
+		}
+		return true
+	}
+	mask := (uint64(1)<<uint(n) - 1) << (uint(base) & 63)
+	return fa.freeBits[base>>6]&mask == mask
 }
 
 // AllocInRegion allocates a free frame with lo <= pfn < hi (e.g. a
@@ -390,10 +533,11 @@ func (c *Client) AllocInRegion(lo, hi PFN) (PFN, error) {
 	if c.n >= c.contract.Guaranteed+c.contract.Optimistic {
 		return 0, fmt.Errorf("%w: n=%d", ErrQuota, c.n)
 	}
-	for i, f := range c.fa.freeList {
-		if f >= lo && f < hi {
-			c.fa.takeFree(i)
-			c.fa.grant(c, f)
+	fa := c.fa
+	for i := fa.freeHead; i >= 0; i = fa.nodes[i].next {
+		if f := PFN(i); f >= lo && f < hi {
+			fa.unlink(f)
+			fa.grant(c, f)
 			return f, nil
 		}
 	}
@@ -418,7 +562,7 @@ func (c *Client) FreeFrame(pfn PFN) error {
 	}
 	c.stack.Remove(pfn)
 	c.n--
-	c.fa.freeList = append(c.fa.freeList, pfn)
+	c.fa.pushTail(pfn)
 	c.updateGauges()
 	c.fa.freed.Broadcast()
 	return nil
@@ -535,7 +679,7 @@ func (fa *FramesAllocator) reclaimTopUnused(victim *Client, k int) int {
 		fa.ramtab.Release(pfn)
 		victim.stack.Remove(pfn)
 		victim.n--
-		fa.freeList = append(fa.freeList, pfn)
+		fa.pushTail(pfn)
 		got++
 	}
 	if got > 0 {
@@ -586,7 +730,7 @@ func (fa *FramesAllocator) kill(c *Client) {
 	for _, pfn := range fa.ramtab.OwnedBy(c.domain) {
 		// Force release regardless of state: the domain is dead.
 		fa.ramtab.entries[pfn] = ramtabEntry{}
-		fa.freeList = append(fa.freeList, pfn)
+		fa.pushTail(pfn)
 	}
 	c.stack.entries = nil
 	c.n = 0

@@ -1,6 +1,9 @@
 package mem
 
-import "testing"
+import (
+	"strconv"
+	"testing"
+)
 
 func BenchmarkTryAllocFree(b *testing.B) {
 	_, fa := newAlloc(64)
@@ -18,6 +21,46 @@ func BenchmarkTryAllocFree(b *testing.B) {
 		if err := c.FreeFrame(pfn); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAllocFreeClients measures the frame alloc/free cycle with 10,
+// 100 and 1,000 admitted clients over proportionally sized memory. The
+// indexed free structures keep the cycle O(1) regardless of client count or
+// memory size; each iteration exercises the unspecific pop-head path, the
+// O(1) coloured path and the tail free.
+func BenchmarkAllocFreeClients(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			_, fa := newAlloc(16 * n)
+			clients := make([]*Client, n)
+			for i := 0; i < n; i++ {
+				c, err := fa.Admit(DomainID(i+1), Contract{Guaranteed: 8}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				clients[i] = c
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := clients[i%n]
+				pfn, err := c.TryAllocFrame()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cpfn, err := c.AllocColoured(i%DefaultColours, DefaultColours)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.FreeFrame(pfn); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.FreeFrame(cpfn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

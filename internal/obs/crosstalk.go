@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"nemesis/internal/sim"
@@ -16,6 +17,10 @@ type DomainSample struct {
 	Faults      int64 // cumulative faults dispatched
 	Progress    int64 // cumulative useful-work units (e.g. accesses completed)
 	Revocations int64 // cumulative frames revoked from the domain
+	// Order is the domain's stable processing rank (registration order).
+	// Only the incremental monitor uses it — full scans are already
+	// ordered — so full-scan sources may leave it zero.
+	Order int64
 }
 
 // Pressure is the system-wide memory pressure at a sampling instant.
@@ -123,6 +128,26 @@ type domainHistory struct {
 	havePrev bool
 	progress []float64 // recent per-window progress rates (per second)
 	faults   []float64 // recent per-window fault rates (per second)
+	order    int64     // processing rank (incremental mode)
+	lastTick int64     // tick at which this domain was last processed
+}
+
+// hot reports whether any baseline window still carries activity; a cold
+// (all-zero) history can neither make the domain a victim (zero progress
+// baseline) nor a suspect (zero fault rate and baseline), so cold domains
+// are safe to skip entirely.
+func (h *domainHistory) hot() bool {
+	for _, x := range h.progress {
+		if x != 0 {
+			return true
+		}
+	}
+	for _, x := range h.faults {
+		if x != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // CrosstalkMonitor periodically samples per-domain activity and global frame
@@ -135,8 +160,16 @@ type CrosstalkMonitor struct {
 	cfg CrosstalkConfig
 
 	// Sample returns the cumulative per-domain activity (in a stable,
-	// deterministic order) and the current memory pressure.
+	// deterministic order) and the current memory pressure. In incremental
+	// mode it returns only the domains that changed since the last call.
 	sample func() ([]DomainSample, Pressure)
+
+	// incremental: sample() reports changed domains only; the monitor keeps
+	// recently-active ("cooling") domains in the window itself until their
+	// baselines decay to zero, and zero-pads the history of a domain that
+	// reappears after idle windows. See NewIncrementalCrosstalkMonitor.
+	incremental bool
+	cooling     map[string]bool
 
 	hist    map[string]*domainHistory
 	timer   sim.Timer
@@ -156,6 +189,32 @@ func NewCrosstalkMonitor(reg *Registry, s *sim.Simulator, cfg CrosstalkConfig, s
 		sample: sample,
 		hist:   make(map[string]*domainHistory),
 	}
+}
+
+// NewIncrementalCrosstalkMonitor builds a monitor whose sample function
+// returns only the domains whose counters moved since the previous call
+// (plus newly registered domains, which seed their baselines). Per window
+// the monitor then works proportional to the number of *active* domains,
+// not admitted domains — the property that lets monitoring scale to
+// thousands of mostly-idle domains.
+//
+// Detection is equivalent to the full scan: a domain that stops appearing
+// keeps being processed with zero rates ("cooling") until its baseline
+// windows are all zero, at which point it can no longer be a victim (zero
+// progress baseline) or a suspect (zero fault rate and baseline) and is
+// dropped; if it reactivates, its history is first zero-padded with the
+// windows it missed (capped at the baseline depth), restoring exactly the
+// state a full scan would hold. The only observable difference is that
+// rate gauges are not created for domains that were never active.
+//
+// Sample order must be stable: DomainSample.Order carries each domain's
+// registration rank, and the monitor processes the union of changed and
+// cooling domains sorted by it, preserving the full scan's tie-breaks.
+func NewIncrementalCrosstalkMonitor(reg *Registry, s *sim.Simulator, cfg CrosstalkConfig, sample func() ([]DomainSample, Pressure)) *CrosstalkMonitor {
+	m := NewCrosstalkMonitor(reg, s, cfg, sample)
+	m.incremental = true
+	m.cooling = make(map[string]bool)
+	return m
 }
 
 // Start schedules the first sampling tick one period from now. Safe on a
@@ -238,12 +297,36 @@ func (m *CrosstalkMonitor) tick() {
 	}
 }
 
+// withCooling merges the cooling set into the changed set — synthesizing a
+// no-change sample from each cooling domain's previous totals — and restores
+// the stable processing order.
+func (m *CrosstalkMonitor) withCooling(changed []DomainSample) []DomainSample {
+	seen := make(map[string]bool, len(changed))
+	for i := range changed {
+		seen[changed[i].Name] = true
+	}
+	for name := range m.cooling {
+		if seen[name] {
+			continue
+		}
+		h := m.hist[name]
+		s := h.prev
+		s.Order = h.order
+		changed = append(changed, s)
+	}
+	sort.Slice(changed, func(i, j int) bool { return changed[i].Order < changed[j].Order })
+	return changed
+}
+
 // sampleWindow closes one sampling window of the given length (normally a
 // full period; the trailing flush passes the partial remainder).
 func (m *CrosstalkMonitor) sampleWindow(secs float64) {
 	samples, pressure := m.sample()
 	m.ticks++
 	m.lastAt = m.s.Now()
+	if m.incremental {
+		samples = m.withCooling(samples)
+	}
 
 	m.reg.Gauge("crosstalk", "free_frames", "").Set(int64(pressure.FreeFrames))
 
@@ -251,14 +334,33 @@ func (m *CrosstalkMonitor) sampleWindow(secs float64) {
 	for _, s := range samples {
 		h, ok := m.hist[s.Name]
 		if !ok {
-			h = &domainHistory{}
+			h = &domainHistory{order: s.Order}
 			m.hist[s.Name] = h
 		}
 		if !h.havePrev {
 			h.prev = s
 			h.havePrev = true
+			h.lastTick = m.ticks
 			continue
 		}
+		// Zero-pad the windows this domain sat out (a full scan would have
+		// appended a zero rate for each); more than Baseline of them is
+		// indistinguishable from exactly Baseline.
+		if missed := m.ticks - 1 - h.lastTick; missed > 0 {
+			pad := int(missed)
+			if pad > m.cfg.Baseline {
+				pad = m.cfg.Baseline
+			}
+			for i := 0; i < pad; i++ {
+				h.progress = append(h.progress, 0)
+				h.faults = append(h.faults, 0)
+			}
+			if len(h.progress) > m.cfg.Baseline {
+				h.progress = h.progress[len(h.progress)-m.cfg.Baseline:]
+				h.faults = h.faults[len(h.faults)-m.cfg.Baseline:]
+			}
+		}
+		h.lastTick = m.ticks
 		pr := float64(s.Progress-h.prev.Progress) / secs
 		fr := float64(s.Faults-h.prev.Faults) / secs
 		rv := s.Revocations - h.prev.Revocations
@@ -284,6 +386,16 @@ func (m *CrosstalkMonitor) sampleWindow(secs float64) {
 		if len(h.progress) > m.cfg.Baseline {
 			h.progress = h.progress[1:]
 			h.faults = h.faults[1:]
+		}
+		// A domain with any activity left in its baseline must keep being
+		// processed next window even if it goes quiet; once the baseline is
+		// all zeros it can be dropped until it reactivates.
+		if m.incremental {
+			if h.hot() {
+				m.cooling[s.Name] = true
+			} else {
+				delete(m.cooling, s.Name)
+			}
 		}
 	}
 

@@ -107,6 +107,10 @@ type Simulator struct {
 	current *Proc // process currently executing, if any
 	live    int   // spawned processes that have not yet finished
 
+	// dispatched counts events run since construction; a deterministic
+	// measure of how much simulated work a run performed.
+	dispatched int64
+
 	// Trace, when non-nil, receives a line for every dispatched event.
 	// Used only by tests and debugging tools.
 	Trace func(t Time, what string)
@@ -134,6 +138,11 @@ func (s *Simulator) Current() *Proc { return s.current }
 // Pending reports the number of events still queued (including cancelled
 // placeholders not yet popped).
 func (s *Simulator) Pending() int { return len(s.events) }
+
+// Dispatched reports how many events have been run so far. It depends only
+// on the seed and the workload, never on wall-clock, so identical runs
+// report identical counts.
+func (s *Simulator) Dispatched() int64 { return s.dispatched }
 
 // Timer identifies a scheduled event and allows cancellation.
 type Timer struct {
@@ -228,6 +237,7 @@ func (s *Simulator) step(limit Time) bool {
 		return false
 	}
 	s.events.pop()
+	s.dispatched++
 	if next.t > s.now {
 		s.now = next.t
 	}
