@@ -2,7 +2,7 @@ GO ?= go
 BENCHFLAGS ?= -run=NONE -bench=. -benchtime=1x -benchmem
 BASELINE ?= BENCH_BASELINE.json
 
-.PHONY: build test race bench bench-baseline lint suite cluster
+.PHONY: build test race bench bench-baseline lint suite cluster serve loadtest
 
 build:
 	$(GO) build ./...
@@ -37,3 +37,13 @@ suite:
 # Cluster paging scenario at the standard 1,000-domain scale.
 cluster:
 	$(GO) run ./cmd/nemesis-paging -cluster
+
+# Experiments-as-a-service daemon. Submit specs with e.g.
+#   curl -s localhost:8080/run -d '{"kind":"figure","figure":8}'
+serve:
+	$(GO) run ./cmd/nemesis-serve -addr :8080
+
+# The 1,000-request concurrent load test against the daemon engine,
+# under the race detector.
+loadtest:
+	$(GO) test -race -run 'TestServeLoad' -v ./internal/serve/

@@ -19,6 +19,11 @@
 //	         under byte-reserving admission; prints the per-machine summary
 //	         table (byte-identical at any -workers count) and optionally
 //	         exports the full result as JSON with -cluster-json
+//
+// The -suite-json and -cluster-json exports use the same spec/result schema
+// as the nemesis-serve HTTP API (internal/experiments.Spec/Result): for a
+// given spec the CLI file and the daemon's response body are byte-identical.
+//
 //	-timeline out.json
 //	         export the run's timeline (figs 7/8/9) as Chrome trace-event
 //	         JSON, loadable in ui.perfetto.dev; adds a deterministic
@@ -38,7 +43,7 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -121,6 +126,7 @@ func main() {
 	timelineJSONL := flag.String("timeline-jsonl", "", "write the compact JSONL timeline dump to this file (convert with nemesis-timeline)")
 	simprofile := flag.String("simprofile", "", "write the folded-stack sim-time attribution profile to this file (figs 7/8; implies telemetry)")
 	suite := flag.Bool("suite", false, "run the full experiment suite as parallel deterministic cells")
+	suiteJSON := flag.String("suite-json", "", "write the full suite result as JSON to this file (same schema and bytes as the nemesis-serve API)")
 	cluster := flag.Bool("cluster", false, "run the cluster paging scenario (N machines x M self-paging domains over a swap-server pool)")
 	clusterMachines := flag.Int("cluster-machines", 0, "cluster machine count (0 = default 4)")
 	clusterDomains := flag.Int("cluster-domains", 0, "domains per cluster machine (0 = default 250)")
@@ -137,7 +143,7 @@ func main() {
 	}
 
 	if *suite {
-		runSuite(*measure, *workers)
+		runSuite(*measure, *workers, *suiteJSON)
 		return
 	}
 	if *cluster {
@@ -276,41 +282,67 @@ func writeTimelines(sys *core.System, tracePath, jsonlPath string) {
 }
 
 // runCluster runs the cluster paging scenario, prints the deterministic
-// per-machine summary, and optionally exports the full result as JSON.
+// per-machine summary, and optionally exports the full result as JSON. The
+// run goes through experiments.RunSpec so the JSON export carries the same
+// schema — and for the same spec, the same bytes — as the nemesis-serve API.
 func runCluster(opt experiments.ClusterOptions, jsonPath string) {
 	start := time.Now()
-	res, err := experiments.RunCluster(opt)
+	out, err := experiments.RunSpec(context.Background(), experiments.Spec{
+		Kind:              experiments.KindCluster,
+		Machines:          opt.Machines,
+		DomainsPerMachine: opt.DomainsPerMachine,
+		Servers:           opt.Servers,
+		Measure:           experiments.Duration(opt.Measure),
+		Seed:              opt.Seed,
+	}, opt.Workers)
 	if err != nil {
 		fatalf("nemesis-paging: %v", err)
 	}
-	if err := res.WriteSummary(os.Stdout); err != nil {
+	if err := out.Result.Cluster.WriteSummary(os.Stdout); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("# cluster: %.2fs wall\n", time.Since(start).Seconds())
 	if jsonPath != "" {
-		writeFile(jsonPath, func(w io.Writer) error {
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			return enc.Encode(res)
-		})
+		writeResultJSON(jsonPath, out.Result)
 	}
 }
 
 // runSuite fans the whole experiment suite across sweep workers and prints
-// each cell's summary in fixed suite order.
-func runSuite(measure time.Duration, workers int) {
+// each cell's summary in fixed suite order, optionally exporting the
+// API-schema JSON result.
+func runSuite(measure time.Duration, workers int, jsonPath string) {
 	if workers <= 0 {
 		workers = sweep.Workers()
 	}
 	start := time.Now()
-	cells, err := experiments.RunSuite(measure, workers)
+	out, err := experiments.RunSpec(context.Background(), experiments.Spec{
+		Kind:    experiments.KindSuite,
+		Measure: experiments.Duration(measure),
+	}, workers)
 	if err != nil {
 		fatalf("nemesis-paging: %v", err)
 	}
+	cells := out.Result.Suite
 	for _, c := range cells {
 		fmt.Printf("# %s\n%s", c.Name, c.Output)
 	}
 	fmt.Printf("# suite: %d cells, %d workers, %.2fs wall\n", len(cells), workers, time.Since(start).Seconds())
+	if jsonPath != "" {
+		writeResultJSON(jsonPath, out.Result)
+	}
+}
+
+// writeResultJSON writes the canonical result encoding — the exact bytes
+// nemesis-serve would return for the same spec.
+func writeResultJSON(path string, res *experiments.Result) {
+	body, err := experiments.EncodeResult(res)
+	if err != nil {
+		fatal(err)
+	}
+	writeFile(path, func(w io.Writer) error {
+		_, err := w.Write(body)
+		return err
+	})
 }
 
 func runAblations(measure time.Duration) {

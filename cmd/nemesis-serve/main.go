@@ -1,0 +1,65 @@
+// Command nemesis-serve runs the experiments-as-a-service daemon: an HTTP
+// API over the deterministic simulation experiments, fronted by a
+// content-addressed result cache.
+//
+//	nemesis-serve -addr :8080
+//
+//	curl -s localhost:8080/run -d '{"kind":"figure","figure":8}'
+//	curl -s localhost:8080/jobs -d '{"kind":"suite","measure":"15s"}'
+//	curl -s localhost:8080/jobs/j1/events        # SSE progress stream
+//	curl -s localhost:8080/jobs/j1/result
+//
+// Because every experiment is a pure function of its spec, identical
+// submissions — regardless of field order, default spelling, or duration
+// format — coalesce onto one running job or hit the cache (X-Cache: hit).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nemesis/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent jobs (default GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queued-job bound before 429 (default 256)")
+	cache := flag.Int("cache", 0, "result cache entries (default 512)")
+	timeout := flag.Duration("timeout", 0, "per-job wall-clock cap (default 10m)")
+	sweepWorkers := flag.Int("sweep-workers", 0, "per-job sweep fan-out (default NEMESIS_SWEEP_WORKERS or GOMAXPROCS; results identical at any value)")
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		JobTimeout:   *timeout,
+		SweepWorkers: *sweepWorkers,
+	})
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		log.Println("nemesis-serve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		s.Close()
+	}()
+
+	log.Printf("nemesis-serve: listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("nemesis-serve: %v", err)
+	}
+}

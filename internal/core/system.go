@@ -644,4 +644,9 @@ func (sys *System) Shutdown() {
 		sys.NetSwap.Stop()
 	}
 	sys.USD.Stop()
+	// Unwind every remaining process goroutine. Experiment results are read
+	// before or during Shutdown, and killed processes execute no further
+	// workload, so this cannot perturb any measurement — it only returns the
+	// goroutines a finished simulation would otherwise park forever.
+	sys.Sim.Shutdown()
 }

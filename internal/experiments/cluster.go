@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -27,35 +28,35 @@ import (
 // monitoring window.
 type ClusterOptions struct {
 	// Machines is the number of independent machine cells (default 4).
-	Machines int
+	Machines int `json:"machines"`
 	// DomainsPerMachine is the domain population per machine (default 250).
-	DomainsPerMachine int
+	DomainsPerMachine int `json:"domains_per_machine"`
 	// Servers is the swap-server pool size per machine (default 2).
-	Servers int
+	Servers int `json:"servers"`
 	// HotFraction is the share of domains that page continuously
 	// (default 0.1; at least one domain per machine is hot).
-	HotFraction float64
+	HotFraction float64 `json:"hot_fraction"`
 	// HotPeriod is a hot domain's think time between page touches
 	// (default 100 ms).
-	HotPeriod time.Duration
+	HotPeriod time.Duration `json:"hot_period_ns"`
 	// PagesPerDomain is each domain's virtual stretch size in pages
 	// (default 8 — four times the guaranteed frames, so a hot domain's
 	// cycle revisits pages it has already cleaned to the remote store).
-	PagesPerDomain int
+	PagesPerDomain int `json:"pages_per_domain"`
 	// PhysFrames is each domain's guaranteed physical allocation
 	// (default 2, the paper's paging application). Contracts carry no
 	// optimistic share, so guarantee violations are impossible by
 	// construction — and the audit asserts none happen.
-	PhysFrames int
+	PhysFrames int `json:"phys_frames"`
 	// Measure is the simulated run length (default 4 s — long enough at the
 	// standard scale for hot domains to wrap their page cycle and re-read
 	// pages from the remote store).
-	Measure time.Duration
+	Measure time.Duration `json:"measure_ns"`
 	// Seed seeds machine m with Seed+m (default 1).
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Workers caps the sweep fan-out (0 = NEMESIS_SWEEP_WORKERS or
 	// GOMAXPROCS). Results are identical for any value.
-	Workers int
+	Workers int `json:"-"`
 }
 
 // DefaultClusterOptions returns the standard 1,000-domain cluster:
@@ -153,12 +154,19 @@ func (r *ClusterResult) Totals() ClusterMachine {
 // deterministic simulation (seeded Seed+machine), fanned out across sweep
 // workers and collected in machine order.
 func RunCluster(opt ClusterOptions) (*ClusterResult, error) {
+	return RunClusterContext(context.Background(), opt)
+}
+
+// RunClusterContext is RunCluster under a context: workers observe ctx
+// between machine cells, and a sweep.WithProgress callback on ctx receives
+// per-machine completion events.
+func RunClusterContext(ctx context.Context, opt ClusterOptions) (*ClusterResult, error) {
 	opt.fillDefaults()
 	machines := make([]int, opt.Machines)
 	for i := range machines {
 		machines[i] = i
 	}
-	cells, err := sweep.MapWorkers(sweepWorkers(opt.Workers), machines, func(m int) (*ClusterMachine, error) {
+	cells, err := sweep.MapWorkersContext(ctx, sweepWorkers(opt.Workers), machines, func(_ context.Context, m int) (*ClusterMachine, error) {
 		return runClusterMachine(m, opt)
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,19 +18,24 @@ import (
 // remote store (the server's own disk service) and network back (reply
 // wire) — plus the client's RPC counters.
 type NetswapCell struct {
-	Latency time.Duration
-	Loss    float64
-	Mbps    float64
+	Latency time.Duration `json:"latency_ns"`
+	Loss    float64       `json:"loss"`
+	Mbps    float64       `json:"mbps"`
 	// Per-hop p50/p95 in milliseconds, from the page-fault spans.
-	NetOutP50Ms, NetOutP95Ms   float64
-	StoreP50Ms, StoreP95Ms     float64
-	NetBackP50Ms, NetBackP95Ms float64
-	RPCs, Retries, Timeouts    int64
+	NetOutP50Ms  float64 `json:"net_out_p50_ms"`
+	NetOutP95Ms  float64 `json:"net_out_p95_ms"`
+	StoreP50Ms   float64 `json:"store_p50_ms"`
+	StoreP95Ms   float64 `json:"store_p95_ms"`
+	NetBackP50Ms float64 `json:"net_back_p50_ms"`
+	NetBackP95Ms float64 `json:"net_back_p95_ms"`
+	RPCs         int64   `json:"rpcs"`
+	Retries      int64   `json:"retries"`
+	Timeouts     int64   `json:"timeouts"`
 }
 
 // NetswapSweepResult is E8a: fault latency against link latency and loss.
 type NetswapSweepResult struct {
-	Cells []NetswapCell
+	Cells []NetswapCell `json:"cells"`
 }
 
 // RunNetswapSweep measures a remote-paging application across the cross
@@ -37,6 +43,13 @@ type NetswapSweepResult struct {
 // time per cell. Every cell is an independent deterministic run; cells fan
 // out across sweep workers and come back in sweep order.
 func RunNetswapSweep(latencies []time.Duration, losses []float64, measure time.Duration) (*NetswapSweepResult, error) {
+	return RunNetswapSweepContext(context.Background(), latencies, losses, measure)
+}
+
+// RunNetswapSweepContext is RunNetswapSweep under a context: workers
+// observe ctx between (latency, loss) cells, and a sweep.WithProgress
+// callback on ctx receives per-cell completion events.
+func RunNetswapSweepContext(ctx context.Context, latencies []time.Duration, losses []float64, measure time.Duration) (*NetswapSweepResult, error) {
 	type point struct {
 		lat  time.Duration
 		loss float64
@@ -47,7 +60,7 @@ func RunNetswapSweep(latencies []time.Duration, losses []float64, measure time.D
 			pts = append(pts, point{lat, loss})
 		}
 	}
-	cells, err := sweep.Map(pts, func(p point) (*NetswapCell, error) {
+	cells, err := sweep.MapContext(ctx, pts, func(_ context.Context, p point) (*NetswapCell, error) {
 		return runNetswapCell(p.lat, p.loss, measure)
 	})
 	if err != nil {

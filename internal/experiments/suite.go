@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -13,8 +14,8 @@ import (
 // summary. Cells are independent deterministic runs, so the rendered text
 // is identical whether the suite ran serially or fanned out.
 type SuiteCell struct {
-	Name   string
-	Output string
+	Name   string `json:"name"`
+	Output string `json:"output"`
 }
 
 // RunSuite runs the full experiment suite — Table 1, Figs. 7–9, the
@@ -25,6 +26,15 @@ type SuiteCell struct {
 // measure bounds each cell's simulated measurement window; cells that need
 // less clamp it themselves.
 func RunSuite(measure time.Duration, workers int) ([]SuiteCell, error) {
+	return RunSuiteContext(context.Background(), measure, workers)
+}
+
+// RunSuiteContext is RunSuite under a context: workers observe ctx between
+// cells (a cancelled suite stops scheduling cells and returns ctx.Err()),
+// and a sweep.WithProgress callback on ctx receives per-cell completion
+// events. In-flight cells run to completion; a single cell is not
+// interruptible mid-simulation.
+func RunSuiteContext(ctx context.Context, measure time.Duration, workers int) ([]SuiteCell, error) {
 	if workers <= 0 {
 		workers = sweep.Workers()
 	}
@@ -35,10 +45,10 @@ func RunSuite(measure time.Duration, workers int) ([]SuiteCell, error) {
 
 	type cell struct {
 		name string
-		run  func() (string, error)
+		run  func(ctx context.Context) (string, error)
 	}
 	cells := []cell{
-		{"table1", func() (string, error) {
+		{"table1", func(context.Context) (string, error) {
 			rows, err := Table1()
 			if err != nil {
 				return "", err
@@ -49,7 +59,7 @@ func RunSuite(measure time.Duration, workers int) ([]SuiteCell, error) {
 			}
 			return b.String(), nil
 		}},
-		{"fig7 paging-in", func() (string, error) {
+		{"fig7 paging-in", func(context.Context) (string, error) {
 			opt := DefaultPagingOptions()
 			opt.Measure = measure
 			r, err := RunPaging(opt)
@@ -58,7 +68,7 @@ func RunSuite(measure time.Duration, workers int) ([]SuiteCell, error) {
 			}
 			return fmt.Sprintf("mean Mbit/s %s  ratios %s\n", fmtFloats(r.MeanMbps), fmtFloats(r.Ratios())), nil
 		}},
-		{"fig8 paging-out", func() (string, error) {
+		{"fig8 paging-out", func(context.Context) (string, error) {
 			opt := DefaultPagingOptions()
 			opt.Measure = measure
 			opt.Write = true
@@ -69,7 +79,7 @@ func RunSuite(measure time.Duration, workers int) ([]SuiteCell, error) {
 			}
 			return fmt.Sprintf("mean Mbit/s %s  ratios %s\n", fmtFloats(r.MeanMbps), fmtFloats(r.Ratios())), nil
 		}},
-		{"fig9 fs-isolation", func() (string, error) {
+		{"fig9 fs-isolation", func(context.Context) (string, error) {
 			opt := DefaultFig9Options()
 			opt.Measure = measure
 			r, err := RunFig9(opt)
@@ -78,49 +88,49 @@ func RunSuite(measure time.Duration, workers int) ([]SuiteCell, error) {
 			}
 			return fmt.Sprintf("alone %.2f  contended %.2f  isolation %.3f\n", r.AloneMbps, r.ContendedMbps, r.Isolation()), nil
 		}},
-		{"A1 laxity", func() (string, error) {
+		{"A1 laxity", func(context.Context) (string, error) {
 			r, err := AblationLaxity(short)
 			if err != nil {
 				return "", err
 			}
 			return fmt.Sprintf("with %.2f  without %.2f\n", r.WithLaxityMbps, r.WithoutLaxityMbps), nil
 		}},
-		{"A2 fcfs-disk", func() (string, error) {
+		{"A2 fcfs-disk", func(context.Context) (string, error) {
 			r, err := AblationFCFS(short)
 			if err != nil {
 				return "", err
 			}
 			return fmt.Sprintf("atropos %s  fcfs %s\n", fmtFloats(r.AtroposMbps), fmtFloats(r.FCFSMbps)), nil
 		}},
-		{"A3 crosstalk", func() (string, error) {
+		{"A3 crosstalk", func(context.Context) (string, error) {
 			r, err := AblationCrosstalk(short)
 			if err != nil {
 				return "", err
 			}
 			return fmt.Sprintf("self iso %.2f  ext iso %.2f\n", r.SelfIsolation(), r.ExtIsolation()), nil
 		}},
-		{"A4 slack", func() (string, error) {
+		{"A4 slack", func(context.Context) (string, error) {
 			r, err := AblationSlack(short)
 			if err != nil {
 				return "", err
 			}
 			return fmt.Sprintf("x=true %.2f  x=false %.2f\n", r.XTrueMbps, r.XFalseMbps), nil
 		}},
-		{"A5 revocation", func() (string, error) {
+		{"A5 revocation", func(context.Context) (string, error) {
 			r, err := AblationRevocation()
 			if err != nil {
 				return "", err
 			}
 			return fmt.Sprintf("transparent %.3fms  intrusive %.3fms\n", r.TransparentMs, r.IntrusiveMs), nil
 		}},
-		{"E1 pipeline-depth", func() (string, error) {
+		{"E1 pipeline-depth", func(context.Context) (string, error) {
 			r, err := ExtensionPipelineDepth([]int{1, 2, 4, 8, 16}, short)
 			if err != nil {
 				return "", err
 			}
 			return fmt.Sprintf("%v -> %s Mbit/s\n", r.Depths, fmtFloats(r.Mbps)), nil
 		}},
-		{"E2 eviction-policies", func() (string, error) {
+		{"E2 eviction-policies", func(context.Context) (string, error) {
 			rows, err := ExtensionEvictionPolicies(short,
 				[]stretchdrv.PolicyKind{stretchdrv.PolicyFIFO, stretchdrv.PolicySecondChance, stretchdrv.PolicyClock})
 			if err != nil {
@@ -132,28 +142,28 @@ func RunSuite(measure time.Duration, workers int) ([]SuiteCell, error) {
 			}
 			return b.String(), nil
 		}},
-		{"E3 guarded-pt", func() (string, error) {
+		{"E3 guarded-pt", func(context.Context) (string, error) {
 			r, err := ExtensionGuardedPT()
 			if err != nil {
 				return "", err
 			}
 			return fmt.Sprintf("linear %.2fus  guarded %.2fus  %.1fx\n", r.LinearUS, r.GuardedUS, r.Slowdown()), nil
 		}},
-		{"E4 stream-paging", func() (string, error) {
+		{"E4 stream-paging", func(context.Context) (string, error) {
 			r, err := ExtensionStreamPaging(short)
 			if err != nil {
 				return "", err
 			}
 			return fmt.Sprintf("demand %.2f  streaming %.2f  %.2fx\n", r.DemandMbps, r.StreamingMbps, r.Speedup()), nil
 		}},
-		{"E5 rebalancer", func() (string, error) {
+		{"E5 rebalancer", func(context.Context) (string, error) {
 			r, err := ExtensionRebalance(short)
 			if err != nil {
 				return "", err
 			}
 			return fmt.Sprintf("%.2f -> %.2f Mbit/s (%d moves)\n", r.WithoutMbps, r.WithMbps, r.Moves), nil
 		}},
-		{"E6 mjpeg", func() (string, error) {
+		{"E6 mjpeg", func(context.Context) (string, error) {
 			r, err := MotivationMJPEG(short)
 			if err != nil {
 				return "", err
@@ -161,17 +171,17 @@ func RunSuite(measure time.Duration, workers int) ([]SuiteCell, error) {
 			return fmt.Sprintf("qos miss %.1f%% jitter %.2fms  fcfs miss %.1f%% jitter %.2fms\n",
 				100*r.QoSMissRate, r.QoSJitterMs, 100*r.FCFSMissRate, r.FCFSJitterMs), nil
 		}},
-		{"E7 write-clustering", func() (string, error) {
+		{"E7 write-clustering", func(context.Context) (string, error) {
 			r, err := ExtensionWriteClustering(short, []int{1, 2, 4, 8})
 			if err != nil {
 				return "", err
 			}
 			return fmt.Sprintf("sizes %v  txns/pageout %s\n", r.Sizes, fmtFloats(r.TxnsPerPageOut)), nil
 		}},
-		{"E8a netswap-sweep", func() (string, error) {
+		{"E8a netswap-sweep", func(ctx context.Context) (string, error) {
 			latencies := []time.Duration{200 * time.Microsecond, time.Millisecond, 2 * time.Millisecond}
 			losses := []float64{0, 0.05}
-			r, err := RunNetswapSweep(latencies, losses, short)
+			r, err := RunNetswapSweepContext(ctx, latencies, losses, short)
 			if err != nil {
 				return "", err
 			}
@@ -181,14 +191,14 @@ func RunSuite(measure time.Duration, workers int) ([]SuiteCell, error) {
 			}
 			return b.String(), nil
 		}},
-		{"E8b netswap-outage", func() (string, error) {
+		{"E8b netswap-outage", func(context.Context) (string, error) {
 			r, err := RunNetswapOutage(short / 3)
 			if err != nil {
 				return "", err
 			}
 			return fmt.Sprintf("local %s  remote %s  flags %d\n", fmtFloats(r.LocalMbps[:]), fmtFloats(r.RemoteMbps[:]), len(r.Flags)), nil
 		}},
-		{"E8c netswap-degrade", func() (string, error) {
+		{"E8c netswap-degrade", func(context.Context) (string, error) {
 			r, err := RunNetswapDegrade(short / 3)
 			if err != nil {
 				return "", err
@@ -197,8 +207,8 @@ func RunSuite(measure time.Duration, workers int) ([]SuiteCell, error) {
 		}},
 	}
 
-	return sweep.MapWorkers(workers, cells, func(c cell) (SuiteCell, error) {
-		out, err := c.run()
+	return sweep.MapWorkersContext(ctx, workers, cells, func(ctx context.Context, c cell) (SuiteCell, error) {
+		out, err := c.run(ctx)
 		if err != nil {
 			return SuiteCell{}, fmt.Errorf("%s: %w", c.name, err)
 		}

@@ -8,9 +8,16 @@
 // single-threaded and seeded — and the runner returns results in item
 // order regardless of completion order, so serial and parallel runs of the
 // same sweep produce identical output.
+//
+// MapWorkersContext is the context-aware root: workers observe ctx between
+// items (a cancelled sweep stops claiming cells and returns ctx.Err()), and
+// a Progress callback installed with WithProgress receives per-cell
+// completion events — which is how long-running services stream sweep
+// progress without touching the cell functions themselves.
 package sweep
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"strconv"
@@ -32,6 +39,27 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Progress receives per-cell completion events: done cells finished out of
+// total. Callbacks arrive from worker goroutines, possibly concurrently,
+// and done is cumulative (monotonic per callback value, though delivery
+// order between goroutines is unordered) — consumers should treat each
+// event as "at least done/total complete".
+type Progress func(done, total int)
+
+type progressKey struct{}
+
+// WithProgress returns a context whose outermost context-aware sweep
+// reports per-cell completion into fn. Nested sweeps run with the callback
+// stripped, so done/total always describe the top-level sweep's cells.
+func WithProgress(ctx context.Context, fn Progress) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+func progressFrom(ctx context.Context) Progress {
+	fn, _ := ctx.Value(progressKey{}).(Progress)
+	return fn
+}
+
 // Map runs fn over items on up to Workers() goroutines and returns the
 // results in item order. See MapWorkers.
 func Map[I, O any](items []I, fn func(I) (O, error)) ([]O, error) {
@@ -45,17 +73,57 @@ func Map[I, O any](items []I, fn func(I) (O, error)) ([]O, error) {
 // single-item sweep degrades to a plain serial loop on the caller's
 // goroutine.
 func MapWorkers[I, O any](workers int, items []I, fn func(I) (O, error)) ([]O, error) {
+	return MapWorkersContext(context.Background(), workers, items,
+		func(_ context.Context, it I) (O, error) { return fn(it) })
+}
+
+// MapContext runs fn over items on up to Workers() goroutines under ctx.
+// See MapWorkersContext.
+func MapContext[I, O any](ctx context.Context, items []I, fn func(context.Context, I) (O, error)) ([]O, error) {
+	return MapWorkersContext(ctx, Workers(), items, fn)
+}
+
+// MapWorkersContext is the context-aware sweep runner every other entry
+// point wraps. Semantics match MapWorkers — index-ordered results,
+// lowest-index error — with two additions:
+//
+//   - Cancellation: workers observe ctx between items. Once ctx is done no
+//     further cells start, in-flight cells finish, and the call returns
+//     ctx.Err() (cancellation wins over any cell error, since which cells
+//     ran to completion under a cancelled sweep is scheduling-dependent).
+//   - Progress: a callback installed with WithProgress is invoked after
+//     each successful cell. The ctx passed to fn has the callback stripped,
+//     so a cell that itself sweeps (a suite cell running a nested netswap
+//     sweep) cannot double-report.
+func MapWorkersContext[I, O any](ctx context.Context, workers int, items []I, fn func(context.Context, I) (O, error)) ([]O, error) {
+	prog := progressFrom(ctx)
+	inner := ctx
+	if prog != nil {
+		inner = WithProgress(ctx, nil)
+	}
+	total := len(items)
+	var done atomic.Int64
+	report := func() {
+		if prog != nil {
+			prog(int(done.Add(1)), total)
+		}
+	}
+
 	if workers > len(items) {
 		workers = len(items)
 	}
 	if workers <= 1 {
 		out := make([]O, len(items))
 		for i, it := range items {
-			o, err := fn(it)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			o, err := fn(inner, it)
 			if err != nil {
 				return nil, err
 			}
 			out[i] = o
+			report()
 		}
 		return out, nil
 	}
@@ -69,15 +137,24 @@ func MapWorkers[I, O any](workers int, items []I, fn func(I) (O, error)) ([]O, e
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(items) {
 					return
 				}
-				out[i], errs[i] = fn(items[i])
+				out[i], errs[i] = fn(inner, items[i])
+				if errs[i] == nil {
+					report()
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -102,4 +103,17 @@ func (r *Registry) WriteAuditTSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// WriteAuditJSON renders the audit log as an indented JSON array, oldest
+// first — the io.Writer form nemesis-serve's /audit endpoint streams. Safe
+// on a nil registry (an empty array is written).
+func (r *Registry) WriteAuditJSON(w io.Writer) error {
+	events := []AuditEvent{}
+	if r != nil && r.audit != nil {
+		events = r.audit
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(events)
 }

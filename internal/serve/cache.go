@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Entry is one cached outcome: the canonical result body plus any side
+// artifacts, all immutable once stored.
+type Entry struct {
+	Key   string
+	Body  []byte // canonical result JSON (experiments.EncodeResult)
+	Trace []byte // Perfetto trace artifact, if captured
+	Audit []byte // audit-log artifact, if captured
+}
+
+// Cache is a bounded LRU keyed on spec content hashes. A hit serves a
+// finished result in microseconds; eviction only ever discards bytes that
+// can be recomputed from the spec, so correctness never depends on
+// residency.
+type Cache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recently used; values are *Entry
+	items  map[string]*list.Element
+	hits   int64
+	misses int64
+}
+
+// NewCache returns an LRU holding at most max entries (min 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the entry for key, refreshing its recency, and records a hit
+// or miss.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*Entry), true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores an entry, evicting the least recently used beyond the bound.
+// Storing an existing key refreshes it.
+func (c *Cache) Put(e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[e.Key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[e.Key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*Entry).Key)
+	}
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit/miss counters.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,120 @@
+// Package serve is the experiments-as-a-service daemon behind
+// cmd/nemesis-serve: an HTTP/JSON API where clients submit experiment
+// specs, stream progress, and fetch results, traces and audit logs.
+//
+// Because every experiment cell is a deterministic pure function of its
+// normalized spec, results are content-addressable: the spec is
+// canonicalized (defaults explicit, durations normalized, keys sorted) and
+// hashed, a bounded LRU serves repeat submissions from that hash without
+// re-simulating, and single-flight coalescing makes N concurrent identical
+// submissions run the sweep exactly once. A bounded worker-pool job queue
+// on top degrades gracefully under load (429 + Retry-After) instead of
+// forking unbounded goroutines.
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"nemesis/internal/experiments"
+)
+
+// CanonicalJSON encodes v as deterministic compact JSON: object keys
+// sorted, no insignificant whitespace, numbers preserved digit-for-digit.
+// Two values that encoding/json would render with the same content in any
+// key order canonicalize to identical bytes — the property spec hashing
+// needs.
+func CanonicalJSON(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := writeCanonical(&buf, tree); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func writeCanonical(buf *bytes.Buffer, v any) error {
+	switch x := v.(type) {
+	case nil:
+		buf.WriteString("null")
+	case bool:
+		if x {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case json.Number:
+		buf.WriteString(x.String())
+	case string:
+		b, err := json.Marshal(x)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := writeCanonical(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			kb, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			buf.Write(kb)
+			buf.WriteByte(':')
+			if err := writeCanonical(buf, x[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+	default:
+		return fmt.Errorf("serve: cannot canonicalize %T", v)
+	}
+	return nil
+}
+
+// SpecKey normalizes a spec and returns its content-address: the hex
+// SHA-256 of the canonical JSON of the normalized spec. Specs that describe
+// the same experiment — whatever their field order, duration spelling, or
+// default-vs-explicit values — share a key, so they share a cache entry.
+func SpecKey(s experiments.Spec) (string, experiments.Spec, error) {
+	if err := s.Normalize(); err != nil {
+		return "", experiments.Spec{}, err
+	}
+	b, err := CanonicalJSON(s)
+	if err != nil {
+		return "", experiments.Spec{}, err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), s, nil
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"nemesis/internal/experiments"
+)
+
+func TestCanonicalJSONSortsKeys(t *testing.T) {
+	got, err := CanonicalJSON(map[string]any{"zebra": 1, "alpha": []any{true, nil, "x"}, "mid": map[string]any{"b": 2, "a": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"alpha":[true,null,"x"],"mid":{"a":1,"b":2},"zebra":1}`
+	if string(got) != want {
+		t.Errorf("canonical = %s, want %s", got, want)
+	}
+}
+
+func TestCanonicalJSONNumberFidelity(t *testing.T) {
+	// Numbers must survive digit-for-digit: float64 round-tripping would
+	// corrupt large int64 seeds.
+	got, err := CanonicalJSON(map[string]any{"seed": int64(9007199254740993)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"seed":9007199254740993}` {
+		t.Errorf("canonical = %s (large int64 mangled)", got)
+	}
+}
+
+// keyOf decodes raw JSON as a spec and returns its content hash.
+func keyOf(t *testing.T, raw string) string {
+	t.Helper()
+	var s experiments.Spec
+	if err := json.Unmarshal([]byte(raw), &s); err != nil {
+		t.Fatal(err)
+	}
+	key, _, err := SpecKey(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestSpecKeyStableAcrossFieldOrder(t *testing.T) {
+	a := keyOf(t, `{"kind":"cluster","machines":2,"domains_per_machine":50,"seed":3}`)
+	b := keyOf(t, `{"seed":3,"domains_per_machine":50,"machines":2,"kind":"cluster"}`)
+	if a != b {
+		t.Errorf("field order changed the key: %s vs %s", a, b)
+	}
+}
+
+func TestSpecKeyStableAcrossDefaults(t *testing.T) {
+	// Explicitly spelling a default must hash like omitting it.
+	a := keyOf(t, `{"kind":"figure","figure":7}`)
+	b := keyOf(t, `{"kind":"figure","figure":7,"measure":"40s","seed":1}`)
+	if a != b {
+		t.Errorf("default-vs-explicit changed the key: %s vs %s", a, b)
+	}
+	// And a non-default value must NOT collide.
+	c := keyOf(t, `{"kind":"figure","figure":7,"seed":2}`)
+	if a == c {
+		t.Error("different seeds share a key")
+	}
+}
+
+func TestSpecKeyStableAcrossDurationFormats(t *testing.T) {
+	a := keyOf(t, `{"kind":"suite","measure":"2s"}`)
+	b := keyOf(t, `{"kind":"suite","measure":"2000ms"}`)
+	c := keyOf(t, `{"kind":"suite","measure":2000000000}`)
+	if a != b || b != c {
+		t.Errorf("duration spellings hash apart: %s %s %s", a, b, c)
+	}
+}
+
+func TestSpecKeyRejectsInvalid(t *testing.T) {
+	if _, _, err := SpecKey(experiments.Spec{Kind: "warp"}); err == nil {
+		t.Error("invalid spec produced a key")
+	}
+	if _, _, err := SpecKey(experiments.Spec{Kind: experiments.KindSuite, Measure: experiments.Duration(time.Hour)}); err == nil {
+		t.Error("over-bound measure produced a key")
+	}
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeLoad is the load-generator acceptance test: 1,000 concurrent
+// mixed requests (20 distinct specs × 50 repeats) against the real
+// simulation runner. Every request must succeed, each distinct spec must
+// simulate exactly once (the rest served by coalescing or the cache), all
+// bodies for a spec must be byte-identical, and the server must not leak
+// goroutines once drained. Run under -race in CI.
+func TestServeLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	before := runtime.NumGoroutine()
+
+	s := New(Config{Workers: 4, QueueDepth: 1100, CacheEntries: 64})
+	ts := httptest.NewServer(s.Handler())
+	client := ts.Client()
+	transport := &http.Transport{MaxIdleConnsPerHost: 128}
+	client.Transport = transport
+
+	const (
+		distinct = 20
+		repeats  = 50
+		total    = distinct * repeats
+	)
+	specBody := func(seed int) string {
+		return fmt.Sprintf(`{"kind":"cluster","machines":1,"domains_per_machine":2,"servers":1,"measure":"50ms","seed":%d}`, seed)
+	}
+
+	var (
+		mu     sync.Mutex
+		bodies = make(map[int][][]byte, distinct) // seed → every response body
+		errs   []error
+	)
+	var wg sync.WaitGroup
+	wg.Add(total)
+	for i := 0; i < total; i++ {
+		go func(i int) {
+			defer wg.Done()
+			seed := i%distinct + 1
+			resp, err := client.Post(ts.URL+"/run", "application/json", bytes.NewReader([]byte(specBody(seed))))
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+				return
+			}
+			var buf bytes.Buffer
+			_, rerr := buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if rerr != nil || resp.StatusCode != http.StatusOK {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("seed %d: status %d read err %v", seed, resp.StatusCode, rerr))
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			bodies[seed] = append(bodies[seed], buf.Bytes())
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		t.Error(err)
+	}
+	if len(errs) > 0 {
+		t.Fatalf("%d of %d requests failed; queue depth %d should drop none", len(errs), total, 1100)
+	}
+	got := 0
+	for seed, bs := range bodies {
+		got += len(bs)
+		for _, b := range bs[1:] {
+			if !bytes.Equal(bs[0], b) {
+				t.Fatalf("seed %d: responses are not byte-identical", seed)
+			}
+		}
+	}
+	if got != total {
+		t.Errorf("collected %d bodies, want %d", got, total)
+	}
+	if runs := s.Runs(); runs != distinct {
+		t.Errorf("runs = %d, want %d (one simulation per distinct spec)", runs, distinct)
+	}
+	hits, misses := s.cache.Stats()
+	t.Logf("load: %d requests, %d simulations, cache %d hits / %d misses", total, s.Runs(), hits, misses)
+	if hits == 0 {
+		t.Error("expected cache hits under repeated specs, saw none")
+	}
+
+	transport.CloseIdleConnections()
+	ts.Close()
+	s.Close()
+	// Drained server must return to near the baseline goroutine count.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before+10 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+10 {
+		t.Errorf("goroutines after drain = %d, baseline %d: leak", n, before)
+	}
+}
+
+// TestServeLoadDeterministicAcrossSweepWorkers pins that the fan-out width
+// is an execution detail, not part of result identity: servers configured
+// with different SweepWorkers return byte-identical bodies for the same
+// spec.
+func TestServeLoadDeterministicAcrossSweepWorkers(t *testing.T) {
+	spec := `{"kind":"netswap","latencies":["200us","1ms"],"losses":[0,0.05],"measure":"100ms"}`
+	var ref []byte
+	for _, workers := range []int{1, 4} {
+		s := New(Config{Workers: 2, SweepWorkers: workers})
+		ts := httptest.NewServer(s.Handler())
+		resp, err := ts.Client().Post(ts.URL+"/run", "application/json", bytes.NewReader([]byte(spec)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("SweepWorkers=%d: status %d: %s", workers, resp.StatusCode, buf.Bytes())
+		}
+		ts.Close()
+		s.Close()
+		if ref == nil {
+			ref = buf.Bytes()
+		} else if !bytes.Equal(ref, buf.Bytes()) {
+			t.Errorf("SweepWorkers=%d body differs from SweepWorkers=1", workers)
+		}
+	}
+}

@@ -1,0 +1,463 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nemesis/internal/experiments"
+	"nemesis/internal/experiments/sweep"
+)
+
+// Config sizes the daemon. The zero value is usable: every field has a
+// default.
+type Config struct {
+	// Workers is the number of jobs simulated concurrently
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the jobs waiting for a worker; submissions beyond
+	// it are rejected with 429 + Retry-After (default 256).
+	QueueDepth int
+	// CacheEntries bounds the result LRU (default 512).
+	CacheEntries int
+	// JobTimeout caps one job's wall-clock run (default 10m). A timed-out
+	// job fails; its cells stop at the next cell boundary.
+	JobTimeout time.Duration
+	// SweepWorkers caps each job's sweep fan-out (default 0 =
+	// NEMESIS_SWEEP_WORKERS or GOMAXPROCS). Results are byte-identical at
+	// any value.
+	SweepWorkers int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 256
+	}
+	if c.CacheEntries < 1 {
+		c.CacheEntries = 512
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 10 * time.Minute
+	}
+}
+
+// ErrQueueFull rejects submissions beyond the advertised queue bound.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// Server is the experiments-as-a-service engine: spec → hash → cache /
+// single-flight / bounded queue → sweep. It is transport-independent;
+// Handler exposes it over HTTP.
+type Server struct {
+	cfg   Config
+	run   runFunc
+	cache *Cache
+
+	mu     sync.Mutex
+	jobs   map[string]*Job // every job ever submitted, by id
+	active map[string]*Job // queued/running job per spec key (single-flight)
+	seq    int64
+
+	queue      chan *Job
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	runs     atomic.Int64 // simulations actually started (cache/coalesce bypass this)
+	rejected atomic.Int64 // submissions refused with ErrQueueFull
+}
+
+// runFunc is the job runner — experiments.RunSpec in production, a stub in
+// queue/SSE tests.
+type runFunc func(ctx context.Context, spec experiments.Spec, workers int) (*experiments.Outcome, error)
+
+// New starts a server and its worker pool.
+func New(cfg Config) *Server {
+	return newServer(cfg, experiments.RunSpec)
+}
+
+func newServer(cfg Config, run runFunc) *Server {
+	cfg.fillDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		run:        run,
+		cache:      NewCache(cfg.CacheEntries),
+		jobs:       make(map[string]*Job),
+		active:     make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting work, cancels in-flight jobs at their next cell
+// boundary, and waits for the workers to unwind.
+func (s *Server) Close() {
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// Runs reports how many simulations the server actually executed — the
+// counter cache-correctness tests assert on.
+func (s *Server) Runs() int64 { return s.runs.Load() }
+
+// Submit content-addresses a spec and returns its job. Outcomes:
+//
+//   - cache hit: a fresh job already in the terminal done state, Cached.
+//   - coalesced: an identical spec is queued or running; that same job is
+//     returned (true) and the underlying sweep runs exactly once.
+//   - fresh: a new job entered the queue.
+//   - ErrQueueFull: the queue is at its advertised bound.
+func (s *Server) Submit(spec experiments.Spec) (job *Job, coalesced bool, err error) {
+	key, norm, err := SpecKey(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.active[key]; ok {
+		return j, true, nil
+	}
+	if e, ok := s.cache.Get(key); ok {
+		j := newJob(s.nextIDLocked(), key, norm)
+		j.Cached = true
+		j.state = JobDone
+		j.entry = e
+		close(j.finished)
+		s.jobs[j.ID] = j
+		return j, false, nil
+	}
+	j := newJob(s.nextIDLocked(), key, norm)
+	select {
+	case s.queue <- j:
+	default:
+		s.rejected.Add(1)
+		return nil, false, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.active[key] = j
+	return j, false, nil
+}
+
+// nextIDLocked mints a job id; callers hold s.mu.
+func (s *Server) nextIDLocked() string {
+	s.seq++
+	return fmt.Sprintf("j%d", s.seq)
+}
+
+// Job returns a submitted job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+func (s *Server) runJob(j *Job) {
+	defer func() {
+		s.mu.Lock()
+		if s.active[j.Key] == j {
+			delete(s.active, j.Key)
+		}
+		s.mu.Unlock()
+	}()
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	defer cancel()
+	if !j.start(cancel) {
+		return // cancelled while queued
+	}
+	ctx = sweep.WithProgress(ctx, j.progress)
+	s.runs.Add(1)
+	out, err := s.run(ctx, j.Spec, s.cfg.SweepWorkers)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			j.markCanceled("canceled mid-run")
+		case errors.Is(err, context.DeadlineExceeded):
+			j.fail(fmt.Sprintf("job exceeded its %v timeout", s.cfg.JobTimeout))
+		default:
+			j.fail(err.Error())
+		}
+		return
+	}
+	body, err := experiments.EncodeResult(out.Result)
+	if err != nil {
+		j.fail(err.Error())
+		return
+	}
+	e := &Entry{Key: j.Key, Body: body, Trace: out.Trace, Audit: out.Audit}
+	s.cache.Put(e)
+	j.complete(e)
+}
+
+// ---- HTTP layer ----
+
+// submitResponse is the POST /jobs reply.
+type submitResponse struct {
+	Event
+	Key       string `json:"key"`
+	Cached    bool   `json:"cached"`
+	Coalesced bool   `json:"coalesced"`
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /jobs             submit a spec; 202 {id,key,state,cached,coalesced}
+//	GET    /jobs/{id}        job status {id,state,done,total,error}
+//	GET    /jobs/{id}/events SSE progress stream until the job is terminal
+//	GET    /jobs/{id}/result canonical result JSON (X-Cache: hit|miss)
+//	GET    /jobs/{id}/trace  Perfetto trace artifact (specs with trace:true)
+//	GET    /jobs/{id}/audit  audit-log JSON artifact
+//	DELETE /jobs/{id}        cancel a queued/running job
+//	POST   /run              submit and wait: the result body in one round trip
+//	GET    /healthz          liveness
+//	GET    /stats            cache/queue/run counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobArtifact(func(e *Entry) []byte { return e.Trace }))
+	mux.HandleFunc("GET /jobs/{id}/audit", s.handleJobArtifact(func(e *Entry) []byte { return e.Audit }))
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) submitFromRequest(w http.ResponseWriter, r *http.Request) (*Job, bool, bool) {
+	var spec experiments.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad spec: %v", err))
+		return nil, false, false
+	}
+	j, coalesced, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return nil, false, false
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, false, false
+	}
+	return j, coalesced, true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	j, coalesced, ok := s.submitFromRequest(w, r)
+	if !ok {
+		return
+	}
+	setCacheHeader(w, j)
+	status := http.StatusAccepted
+	if j.Cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, submitResponse{Event: j.Snapshot(), Key: j.Key, Cached: j.Cached, Coalesced: coalesced})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	j, _, ok := s.submitFromRequest(w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-j.Finished():
+	case <-r.Context().Done():
+		return
+	}
+	s.writeResult(w, j)
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id")))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFromPath(w, r); ok {
+		writeJSON(w, http.StatusOK, submitResponse{Event: j.Snapshot(), Key: j.Key, Cached: j.Cached})
+	}
+}
+
+func setCacheHeader(w http.ResponseWriter, j *Job) {
+	if j.Cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+}
+
+func (s *Server) writeResult(w http.ResponseWriter, j *Job) {
+	ev := j.Snapshot()
+	switch ev.State {
+	case JobDone:
+		e := j.Entry()
+		setCacheHeader(w, j)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(e.Body)
+	case JobFailed:
+		writeError(w, http.StatusInternalServerError, ev.Error)
+	case JobCanceled:
+		writeError(w, http.StatusGone, "job canceled")
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, fmt.Sprintf("job %s is %s (%d/%d cells)", ev.ID, ev.State, ev.Done, ev.Total))
+	}
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFromPath(w, r); ok {
+		s.writeResult(w, j)
+	}
+}
+
+func (s *Server) handleJobArtifact(pick func(*Entry) []byte) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.jobFromPath(w, r)
+		if !ok {
+			return
+		}
+		e := j.Entry()
+		if e == nil {
+			writeError(w, http.StatusConflict, "job has no result yet")
+			return
+		}
+		b := pick(e)
+		if len(b) == 0 {
+			writeError(w, http.StatusNotFound, "no artifact for this spec (submit with \"trace\": true)")
+			return
+		}
+		setCacheHeader(w, j)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	if !j.Cancel() {
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is already %s", j.Snapshot().State))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+// handleJobEvents streams the job's progress as server-sent events — one
+// `event: <state>` + JSON data frame per transition — closing after the
+// terminal event.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	ch, unsub := j.Subscribe()
+	defer unsub()
+	emit := func(ev Event) {
+		data, _ := json.Marshal(ev)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.State, data)
+		if canFlush {
+			flusher.Flush()
+		}
+	}
+	for {
+		select {
+		case ev := <-ch:
+			emit(ev)
+			if ev.State == JobDone || ev.State == JobFailed || ev.State == JobCanceled {
+				return
+			}
+		case <-j.Finished():
+			// Drain anything already queued, then emit the terminal state.
+			for {
+				select {
+				case ev := <-ch:
+					if ev.State == JobDone || ev.State == JobFailed || ev.State == JobCanceled {
+						emit(ev)
+						return
+					}
+					emit(ev)
+				default:
+					emit(j.Snapshot())
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	hits, misses := s.cache.Stats()
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	activeJobs := len(s.active)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":          jobs,
+		"active":        activeJobs,
+		"queue_len":     len(s.queue),
+		"queue_depth":   s.cfg.QueueDepth,
+		"workers":       s.cfg.Workers,
+		"cache_entries": s.cache.Len(),
+		"cache_hits":    hits,
+		"cache_misses":  misses,
+		"runs":          s.runs.Load(),
+		"rejected":      s.rejected.Load(),
+	})
+}

@@ -41,6 +41,7 @@ func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
 		parked: make(chan struct{}),
 	}
 	s.live++
+	s.procs = append(s.procs, p)
 	go func() {
 		<-p.sched // wait for first dispatch
 		defer func() {
@@ -59,6 +60,11 @@ func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
 			s.live--
 			p.parked <- struct{}{}
 		}()
+		if p.killed {
+			// Killed (e.g. by Shutdown) before ever running: unwind without
+			// starting fn.
+			panic(killSentinel{p.name})
+		}
 		fn(p)
 	}()
 	s.atWake(s.now, p, p.prepare())

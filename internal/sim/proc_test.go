@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -198,4 +200,48 @@ func TestNegativeSleepIsImmediate(t *testing.T) {
 	if !done || s.Now() != 0 {
 		t.Fatalf("done=%v now=%v", done, s.Now())
 	}
+}
+
+func TestShutdownReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(1)
+	var defers atomic.Int32
+	// A mix of states at shutdown: parked mid-sleep, never dispatched, and
+	// already finished.
+	for i := 0; i < 50; i++ {
+		s.Spawn("sleeper", func(p *Proc) {
+			defer defers.Add(1)
+			p.Sleep(time.Hour)
+			t.Error("killed process ran past its park point")
+		})
+	}
+	s.Spawn("quick", func(p *Proc) {})
+	s.RunFor(time.Millisecond)
+	started := false
+	s.Spawn("late", func(p *Proc) { started = true }) // scheduled, never run
+	s.Shutdown()
+	if started {
+		t.Error("process spawned after the run executed during Shutdown")
+	}
+	if s.Live() != 0 {
+		t.Fatalf("Live = %d after Shutdown", s.Live())
+	}
+	if n := defers.Load(); n != 50 {
+		t.Errorf("%d deferred cleanups ran, want 50 (kill must unwind the stack)", n)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines = %d, baseline %d: Shutdown leaked", n, before)
+	}
+}
+
+func TestShutdownIdempotentOnFinishedSim(t *testing.T) {
+	s := New(1)
+	s.Spawn("quick", func(p *Proc) {})
+	s.RunUntilIdle(100)
+	s.Shutdown()
+	s.Shutdown() // second call is a no-op
 }

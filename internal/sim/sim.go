@@ -104,8 +104,9 @@ type Simulator struct {
 	seq     uint64
 	free    []*event // recycled events
 	rng     *rand.Rand
-	current *Proc // process currently executing, if any
-	live    int   // spawned processes that have not yet finished
+	current *Proc   // process currently executing, if any
+	live    int     // spawned processes that have not yet finished
+	procs   []*Proc // every spawned process, for Shutdown
 
 	// dispatched counts events run since construction; a deterministic
 	// measure of how much simulated work a run performed.
@@ -264,6 +265,25 @@ func (s *Simulator) Run(until Time) {
 
 // RunFor runs the simulation for duration d from the current instant.
 func (s *Simulator) RunFor(d time.Duration) { s.Run(s.now.Add(d)) }
+
+// Shutdown unwinds every live process, releasing the goroutine backing each
+// one. Without it a finished simulation leaks one parked goroutine per live
+// process — invisible in a run-once CLI, fatal in a long-lived daemon. Each
+// process is dispatched exactly once with its kill flag set, so it panics out
+// of its park point (running its defers) without executing further workload.
+// The simulator must not be used afterwards. Must be called from scheduler
+// context (never from inside a process).
+func (s *Simulator) Shutdown() {
+	for _, p := range s.procs {
+		if p.done {
+			continue
+		}
+		p.killed = true
+		p.prepare() // invalidate any queued wakeup so only this dispatch lands
+		p.dispatch()
+	}
+	s.procs = nil
+}
 
 // RunUntilIdle executes events until none remain. It panics if the
 // simulation exceeds maxEvents dispatches, which indicates a runaway loop.
