@@ -2,7 +2,7 @@ GO ?= go
 BENCHFLAGS ?= -run=NONE -bench=. -benchtime=1x -benchmem
 BASELINE ?= BENCH_BASELINE.json
 
-.PHONY: build test race bench bench-baseline lint suite cluster serve loadtest
+.PHONY: build test race bench bench-baseline bench-fork lint suite cluster serve loadtest
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,18 @@ race:
 
 # Run every benchmark once and compare against the committed baseline.
 # Wall-clock (ns/op) and allocation deltas are informational; deterministic
-# simulated-time metrics (sim_us*, sim_attr_us*, sim_events*) fail the run
-# if they drift >10%.
+# simulated-time and snapshot-accounting metrics (sim_us*, sim_attr_us*,
+# sim_events*, sim_fork*) fail the run if they drift >10%.
 bench:
 	$(GO) test $(BENCHFLAGS) ./... | tee bench.out
 	$(GO) run ./cmd/benchcmp -baseline $(BASELINE) -fail-over 10 bench.out
+
+# Price the checkpoint: the fork microbenchmark (wall cost of one fork plus
+# its deterministic copy accounting) and the full suite with and without
+# world forking. The sim_fork_* metrics are gated by `make bench`; this is
+# the quick local view of what forking buys.
+bench-fork:
+	$(GO) test -run=NONE -bench='BenchmarkFork$$|BenchmarkSuiteForked' -benchtime=1x -benchmem .
 
 # Re-record the baseline (run on a quiet machine; commit the result).
 bench-baseline:

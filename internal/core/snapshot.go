@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nemesis/internal/disk"
+	"nemesis/internal/domain"
+	"nemesis/internal/mem"
+	"nemesis/internal/obs"
+	"nemesis/internal/sfs"
+	"nemesis/internal/stretchdrv"
+	"nemesis/internal/vm"
+)
+
+// Snapshot is the result of System.Fork: a complete, independent copy of the
+// simulated machine at the fork instant, plus the identity maps callers need
+// to translate parent-world handles (domains, drivers, stretches, swap files)
+// into their forked twins. Forking a warmed world is how sweeps and the
+// experiment server avoid re-paying boot: warm once, fork per cell.
+type Snapshot struct {
+	// Sys is the forked system. It shares nothing mutable with the parent
+	// except copy-on-write disk chunks, which are immutable once shared, so
+	// parent and fork may run on different goroutines.
+	Sys *System
+	// Dom, Driver, Stretch and File translate parent pointers to forked ones.
+	Dom     map[*domain.Domain]*domain.Domain
+	Driver  map[domain.Driver]domain.Driver
+	Stretch map[*vm.Stretch]*vm.Stretch
+	File    map[*sfs.SwapFile]*sfs.SwapFile
+	// Stats describes the copy cost of this fork.
+	Stats ForkStats
+}
+
+// ForkStats quantifies one fork's copying work.
+type ForkStats struct {
+	// FrameBytes is how much frame-store memory was copied outright.
+	FrameBytes int64
+	// SharedChunks is how many populated disk chunks were shared
+	// copy-on-write instead of copied; SharedBytes is their total size —
+	// the copying the CoW scheme avoided.
+	SharedChunks int
+	SharedBytes  int64
+}
+
+// Fork deep-copies the system at the current instant. The fork point must be
+// quiesced: the simulator idle (not inside an event), every workload thread
+// exited, no IO in flight, no revocation round open, and no crosstalk monitor
+// or timeline recorder running. Service loops (the USD, each domain's
+// mm-worker) cannot have their goroutine stacks cloned; they are respawned in
+// the fork and re-derive their parked state, which at a quiesced instant is
+// provably identical. Everything else — clock, event queue, random stream,
+// page tables, TLB, frame contents, free lists, blok bitmaps, QoS accounting,
+// telemetry — is copied exactly, so a forked world's future event stream is
+// byte-identical to the future the parent would have had.
+//
+// The parent remains fully usable and may be forked again; sharing disk
+// chunks CoW mutates only the parent's shared-flags, so concurrent Forks of
+// one parent must be serialised by the caller (run the forks' workloads in
+// parallel instead — that is safe).
+func (sys *System) Fork() (*Snapshot, error) {
+	if sys.Sim.Current() != nil {
+		return nil, fmt.Errorf("core: Fork must be called from host context, not from inside the simulation")
+	}
+	if sys.NetSwap != nil {
+		return nil, fmt.Errorf("core: cannot fork with the netswap fabric built — create remote stretches after forking")
+	}
+	if sys.monitor != nil {
+		return nil, fmt.Errorf("core: cannot fork with a crosstalk monitor running — start it after forking")
+	}
+	if sys.recorder != nil {
+		return nil, fmt.Errorf("core: cannot fork with a timeline recorder running — start it after forking")
+	}
+	allowed := map[string]bool{"usd": true}
+	for _, dom := range sys.domains {
+		allowed[dom.Name()+"/mm-worker"] = true
+	}
+	for _, name := range sys.Sim.LiveProcNames() {
+		if !allowed[name] {
+			return nil, fmt.Errorf("core: cannot fork with workload process %q still live — join all threads first", name)
+		}
+	}
+
+	ns := sys.Sim.Fork()
+	store, frameBytes := sys.Store.Fork()
+	ramtab := sys.RamTab.Fork()
+	reg, err := sys.Obs.Fork(ns.Now)
+	if err != nil {
+		return nil, err
+	}
+	frames, err := sys.Frames.Fork(ns, store, ramtab, reg)
+	if err != nil {
+		return nil, err
+	}
+	ts, vmaps, err := sys.TS.Fork(ramtab)
+	if err != nil {
+		return nil, err
+	}
+	var attr *obs.Attribution
+	if reg != nil {
+		attr = reg.Attr()
+	}
+	sched, acMap, claimed, err := sys.CPU.Fork(ns, attr)
+	if err != nil {
+		return nil, err
+	}
+	nd := sys.Disk.Fork(ns, reg)
+	nu, chans, usdClaimed, err := sys.USD.Fork(ns, nd, reg)
+	if err != nil {
+		return nil, err
+	}
+	claimed = append(claimed, usdClaimed...)
+	nfs, fileMap, err := sys.SFS.Fork(nu, chans)
+	if err != nil {
+		return nil, err
+	}
+
+	// Event accounting: every live callback event in the parent queue must
+	// have been re-armed by exactly one subsystem fork. A mismatch means a
+	// timer would silently vanish from (or be duplicated in) the forked
+	// world; fail loudly instead.
+	if err := checkClaimedSeqs(claimed, sys.Sim.PendingSeqs()); err != nil {
+		return nil, err
+	}
+
+	sys2 := &System{
+		Config:  sys.Config,
+		Sim:     ns,
+		Store:   store,
+		RamTab:  ramtab,
+		Frames:  frames,
+		TS:      ts,
+		SA:      ts.Stretches(),
+		CPU:     sched,
+		Disk:    nd,
+		USD:     nu,
+		SFS:     nfs,
+		USDLog:  nu.Log,
+		Obs:     reg,
+		domains: make(map[mem.DomainID]*domain.Domain, len(sys.domains)),
+		nextID:  sys.nextID,
+	}
+	frames.OnKill = func(id mem.DomainID) {
+		if dom := sys2.domains[id]; dom != nil {
+			dom.Kill()
+		}
+	}
+
+	domMap := make(map[*domain.Domain]*domain.Domain, len(sys.domains))
+	env := sys2.env()
+	for id := mem.DomainID(1); id < sys.nextID; id++ {
+		dom, ok := sys.domains[id]
+		if !ok {
+			continue
+		}
+		npd := vmaps.PD[dom.PD()]
+		if npd == nil {
+			return nil, fmt.Errorf("core: no forked protection domain for %q", dom.Name())
+		}
+		ncpu, err := sched.AdoptHandle(dom.CPU(), acMap)
+		if err != nil {
+			return nil, err
+		}
+		ndom, err := dom.Fork(env, npd, ncpu, frames.Lookup(id))
+		if err != nil {
+			return nil, err
+		}
+		sys2.domains[id] = ndom
+		domMap[dom] = ndom
+	}
+	if sys2.tracker, err = sys.tracker.Fork(domMap); err != nil {
+		return nil, err
+	}
+
+	drvMap := make(map[domain.Driver]domain.Driver)
+	for id := mem.DomainID(1); id < sys.nextID; id++ {
+		dom, ok := sys.domains[id]
+		if !ok {
+			continue
+		}
+		ndom := domMap[dom]
+		for _, b := range dom.Bindings() {
+			if forked, ok := drvMap[b.Driver]; ok {
+				// A driver bound to several stretches forks once; extra
+				// bindings re-point at the already-forked twin.
+				pst := sys.SA.Lookup(b.SID)
+				if nst := vmaps.Stretch[pst]; nst != nil {
+					ndom.Bind(nst, forked)
+				}
+				continue
+			}
+			var forked domain.Driver
+			switch drv := b.Driver.(type) {
+			case *stretchdrv.Paged:
+				forked, err = drv.Fork(ndom, vmaps, fileMap)
+			case *stretchdrv.Mapped:
+				forked, err = drv.Fork(ndom, vmaps, fileMap)
+			case *stretchdrv.Physical:
+				forked, err = drv.Fork(ndom, vmaps)
+			case *stretchdrv.Nailed:
+				forked, err = drv.Fork(ndom, vmaps)
+			default:
+				err = fmt.Errorf("core: cannot fork %q driver of domain %q — create it after forking", b.Driver.DriverName(), dom.Name())
+			}
+			if err != nil {
+				return nil, err
+			}
+			drvMap[b.Driver] = forked
+		}
+	}
+
+	// Drain the respawned service loops' bootstrap dispatches (all scheduled
+	// at the fork instant): each runs to its park point without consuming
+	// simulated time, leaving the fork parked exactly as the parent is.
+	ns.Run(ns.Now())
+
+	shared, _ := nd.SharedChunks()
+	return &Snapshot{
+		Sys:     sys2,
+		Dom:     domMap,
+		Driver:  drvMap,
+		Stretch: vmaps.Stretch,
+		File:    fileMap,
+		Stats: ForkStats{
+			FrameBytes:   frameBytes,
+			SharedChunks: shared,
+			SharedBytes:  int64(shared) * disk.ChunkBytes,
+		},
+	}, nil
+}
+
+// checkClaimedSeqs verifies the subsystems re-armed exactly the parent's live
+// callback events.
+func checkClaimedSeqs(claimed, pending []uint64) error {
+	sort.Slice(claimed, func(i, j int) bool { return claimed[i] < claimed[j] })
+	ok := len(claimed) == len(pending)
+	if ok {
+		for i := range claimed {
+			if claimed[i] != pending[i] {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		return fmt.Errorf("core: fork event accounting mismatch: subsystems re-armed seqs %v, parent queue holds %v (an unclaimed timer — e.g. a crosstalk monitor tick — cannot be carried across a fork)", claimed, pending)
+	}
+	return nil
+}

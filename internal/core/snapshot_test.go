@@ -1,0 +1,257 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"nemesis/internal/domain"
+	"nemesis/internal/mem"
+	"nemesis/internal/stretchdrv"
+	"nemesis/internal/vm"
+)
+
+// warmPattern is the byte written to page pg offset i during the warm phase.
+func warmPattern(pg, i int) byte { return byte((pg*31 + i*7) % 251) }
+
+// warmWorld boots a small system with a 2-frame paged domain and warms it:
+// a thread writes a distinctive pattern across 32 pages (forcing dozens of
+// evictions to swap) and exits, leaving the world quiesced and forkable.
+func warmWorld(t *testing.T) (*System, *domain.Domain, *vm.Stretch, *stretchdrv.Paged) {
+	t.Helper()
+	sys := smallSystem()
+	d, err := sys.NewDomain("app", cpuShare(), mem.Contract{Guaranteed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, drv, err := sys.NewPagedStretch(d, 32*vm.PageSize, 64*vm.PageSize, diskShare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Go("warm", func(th *domain.Thread) {
+		if err := PreallocateFrames(th, 2); err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, vm.PageSize)
+		for pg := 0; pg < 32; pg++ {
+			for i := range buf {
+				buf[i] = warmPattern(pg, i)
+			}
+			if err := th.WriteAt(st.PageBase(pg), buf); err != nil {
+				t.Errorf("warm write page %d: %v", pg, err)
+				return
+			}
+		}
+	})
+	sys.Run(30 * time.Second)
+	if drv.Stats.PageOuts == 0 {
+		t.Fatal("warm phase did not exercise eviction")
+	}
+	return sys, d, st, drv
+}
+
+// measure runs the identical post-warm workload on a world: read every warm
+// page back (verifying the pattern survived the fork), then overwrite half of
+// them, forcing further paging traffic.
+func measure(t *testing.T, sys *System, d *domain.Domain, st *vm.Stretch) {
+	t.Helper()
+	var verified bool
+	d.Go("measure", func(th *domain.Thread) {
+		buf := make([]byte, vm.PageSize)
+		for pg := 0; pg < 32; pg++ {
+			if err := th.ReadAt(st.PageBase(pg), buf); err != nil {
+				t.Errorf("measure read page %d: %v", pg, err)
+				return
+			}
+			for i := range buf {
+				if buf[i] != warmPattern(pg, i) {
+					t.Errorf("page %d byte %d = %d, want %d", pg, i, buf[i], warmPattern(pg, i))
+					return
+				}
+			}
+		}
+		for pg := 0; pg < 16; pg++ {
+			for i := range buf {
+				buf[i] = warmPattern(pg, i) ^ 0xFF
+			}
+			if err := th.WriteAt(st.PageBase(pg), buf); err != nil {
+				t.Errorf("measure write page %d: %v", pg, err)
+				return
+			}
+		}
+		verified = true
+	})
+	sys.Run(30 * time.Second)
+	if !verified {
+		t.Fatal("measure thread did not finish")
+	}
+}
+
+// worldOutcome is everything the measure phase observed about one world.
+type worldOutcome struct {
+	now        int64
+	delta      int64 // events dispatched during the measure phase
+	domStats   domain.Stats
+	drvStats   stretchdrv.PagerStats
+	usdEventsN int
+}
+
+func outcome(sys *System, d *domain.Domain, drv *stretchdrv.Paged, base int64) worldOutcome {
+	return worldOutcome{
+		now:        int64(sys.Sim.Now()),
+		delta:      sys.Sim.Dispatched() - base,
+		domStats:   d.Stats(),
+		drvStats:   drv.Stats,
+		usdEventsN: len(sys.USDLog.Events()),
+	}
+}
+
+// TestForkByteIdentity is the core fidelity test: a forked warm world's
+// future must be byte-identical to the future the same world would have had
+// without forking, and the parent must be unperturbed by the fork.
+func TestForkByteIdentity(t *testing.T) {
+	// Control: warm then measure, no fork anywhere.
+	ctl, ctlD, ctlSt, ctlDrv := warmWorld(t)
+	ctlBase := ctl.Sim.Dispatched()
+	measure(t, ctl, ctlD, ctlSt)
+	want := outcome(ctl, ctlD, ctlDrv, ctlBase)
+
+	// Fork a second, identically warmed world; measure the fork AND the
+	// parent.
+	sys, d, st, drv := warmWorld(t)
+	snap, err := sys.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := snap.Dom[d]
+	fst := snap.Stretch[st]
+	fdrv, ok := snap.Driver[drv].(*stretchdrv.Paged)
+	if fd == nil || fst == nil || !ok {
+		t.Fatalf("snapshot maps incomplete: dom=%v stretch=%v drv=%v", fd, fst, snap.Driver[drv])
+	}
+	if snap.Stats.FrameBytes == 0 || snap.Stats.SharedChunks == 0 {
+		t.Fatalf("fork stats implausible: %+v", snap.Stats)
+	}
+
+	forkBase := snap.Sys.Sim.Dispatched()
+	measure(t, snap.Sys, fd, fst)
+	got := outcome(snap.Sys, fd, fdrv, forkBase)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("forked world diverged from cold world:\n got %+v\nwant %+v", got, want)
+	}
+	if !reflect.DeepEqual(snap.Sys.USDLog.Events(), ctl.USDLog.Events()) {
+		t.Error("forked USD trace differs from cold trace")
+	}
+
+	parentBase := sys.Sim.Dispatched()
+	measure(t, sys, d, st)
+	got = outcome(sys, d, drv, parentBase)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parent world perturbed by fork:\n got %+v\nwant %+v", got, want)
+	}
+	if !reflect.DeepEqual(sys.USDLog.Events(), ctl.USDLog.Events()) {
+		t.Error("parent USD trace differs from cold trace")
+	}
+
+	ctl.Shutdown()
+	sys.Shutdown()
+	snap.Sys.Shutdown()
+}
+
+// TestForkIsolation: after a fork, writes in the child must never be visible
+// in the parent and vice versa, including data that round-trips through the
+// copy-on-write disk.
+func TestForkIsolation(t *testing.T) {
+	sys, d, st, _ := warmWorld(t)
+	snap, err := sys.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, fst := snap.Dom[d], snap.Stretch[st]
+
+	// Child overwrites every page (dirtying swap blocks via eviction), then
+	// reads them back; the parent then re-reads the original pattern.
+	var childOK bool
+	fd.Go("scribble", func(th *domain.Thread) {
+		buf := make([]byte, vm.PageSize)
+		for pg := 0; pg < 32; pg++ {
+			for i := range buf {
+				buf[i] = byte((pg + i) % 253)
+			}
+			if err := th.WriteAt(fst.PageBase(pg), buf); err != nil {
+				t.Errorf("child write page %d: %v", pg, err)
+				return
+			}
+		}
+		for pg := 0; pg < 32; pg++ {
+			if err := th.ReadAt(fst.PageBase(pg), buf); err != nil {
+				t.Errorf("child read page %d: %v", pg, err)
+				return
+			}
+			for i := range buf {
+				if buf[i] != byte((pg+i)%253) {
+					t.Errorf("child page %d byte %d corrupted", pg, i)
+					return
+				}
+			}
+		}
+		childOK = true
+	})
+	snap.Sys.Run(60 * time.Second)
+	if !childOK {
+		t.Fatal("child thread did not finish")
+	}
+
+	var parentOK bool
+	d.Go("verify", func(th *domain.Thread) {
+		buf := make([]byte, vm.PageSize)
+		for pg := 0; pg < 32; pg++ {
+			if err := th.ReadAt(st.PageBase(pg), buf); err != nil {
+				t.Errorf("parent read page %d: %v", pg, err)
+				return
+			}
+			for i := range buf {
+				if buf[i] != warmPattern(pg, i) {
+					t.Errorf("parent page %d byte %d = %d, want %d — child write leaked", pg, i, buf[i], warmPattern(pg, i))
+					return
+				}
+			}
+		}
+		parentOK = true
+	})
+	sys.Run(60 * time.Second)
+	if !parentOK {
+		t.Fatal("parent thread did not finish")
+	}
+
+	sys.Shutdown()
+	snap.Sys.Shutdown()
+}
+
+// TestForkPreconditions: forking with live workload threads or mid-simulation
+// must fail loudly, and the world must stay usable afterwards.
+func TestForkPreconditions(t *testing.T) {
+	sys := smallSystem()
+	d, _ := sys.NewDomain("app", cpuShare(), mem.Contract{Guaranteed: 4})
+	st, _, _ := sys.NewPhysicalStretch(d, 4*vm.PageSize)
+	d.Go("spin", func(th *domain.Thread) {
+		for i := 0; i < 1000; i++ {
+			if err := th.Touch(st.Base(), vm.PageSize, vm.AccessWrite); err != nil {
+				return
+			}
+		}
+	})
+	// The spin thread is still live: fork must refuse.
+	if _, err := sys.Fork(); err == nil {
+		t.Fatal("Fork succeeded with a live workload thread")
+	}
+	sys.Run(10 * time.Second)
+	// Quiesced now: fork must succeed.
+	snap, err := sys.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Sys.Shutdown()
+	sys.Shutdown()
+}

@@ -169,11 +169,16 @@ type Disk struct {
 	// bytes, allocated on first write. A nil chunk reads as zeros. Indexing
 	// is two array derefs instead of a per-block map hash, and contiguous
 	// chunks let multi-block transfers copy in one run.
-	data  [][]byte
-	segs  []segment
-	tick  uint64
-	head  int64 // current cylinder
-	stats Stats
+	data [][]byte
+	// shared marks chunks frozen by a Fork: both sides of a fork see the
+	// same backing array until one of them writes, at which point the writer
+	// copies the chunk privately. nil until the first Fork, so an unforked
+	// drive pays one nil check per write.
+	shared []bool
+	segs   []segment
+	tick   uint64
+	head   int64 // current cylinder
+	stats  Stats
 
 	// Telemetry handles, nil unless SetObs was called.
 	hRead, hWrite *obs.Histogram
@@ -382,10 +387,18 @@ func (d *Disk) WriteAt(p *sim.Proc, block int64, count int, buf []byte) error {
 		if rem := count - i; run > rem {
 			run = rem
 		}
-		c := d.data[b>>chunkShift]
+		idx := b >> chunkShift
+		c := d.data[idx]
 		if c == nil {
 			c = make([]byte, chunkBlocks*BlockSize)
-			d.data[b>>chunkShift] = c
+			d.data[idx] = c
+		} else if d.shared != nil && d.shared[idx] {
+			// Copy-on-write: this chunk is frozen by a fork.
+			nc := make([]byte, chunkBlocks*BlockSize)
+			copy(nc, c)
+			d.data[idx] = nc
+			d.shared[idx] = false
+			c = nc
 		}
 		copy(c[off*BlockSize:], buf[i*BlockSize:(i+run)*BlockSize])
 		i += run

@@ -277,7 +277,12 @@ func RunSpec(ctx context.Context, spec Spec, workers int) (*Outcome, error) {
 	out := &Outcome{Result: res}
 	switch spec.Kind {
 	case KindSuite:
-		cells, err := RunSuiteContext(ctx, spec.Measure.D(), workers)
+		// The suite runs under the warm+measure protocol with world
+		// forking: each heavy harness warms once and every cell measures on
+		// a fork, which the fork-equivalence tests pin byte-identical to
+		// cold boots. The legacy in-place suite remains available as
+		// RunSuite for the trace-shaped comparisons that need it.
+		cells, err := RunSuiteForked(ctx, spec.Measure.D(), workers, true)
 		if err != nil {
 			return nil, err
 		}
@@ -355,20 +360,72 @@ func runSingleCell(ctx context.Context, workers int, fn func() error) error {
 	return err
 }
 
+// PagingOptionsFromSpec maps a figure 7/8 spec onto paging options. The
+// warm prefix of the resulting world depends on everything here except
+// Measure — which is what lets specs differing only in their measured
+// window share one warmed world.
+func PagingOptionsFromSpec(spec Spec) PagingOptions {
+	opt := DefaultPagingOptions()
+	opt.Measure = spec.Measure.D()
+	opt.Seed = spec.Seed
+	if spec.Figure == 8 {
+		opt.Write = true
+		opt.Forgetful = true
+	}
+	return opt
+}
+
+// WarmPagingSpec warms the Fig. 7/8 world a figure spec describes.
+// nemesis-serve's warm-world pool builds its resident entries with this.
+func WarmPagingSpec(spec Spec) (*PagingWarm, error) {
+	return WarmPaging(PagingOptionsFromSpec(spec))
+}
+
+// FigureFromWarm measures a warmed Fig. 7/8 world (typically a fresh fork
+// of a pooled one, which it consumes) and assembles the same Result a
+// figure-kind RunSpec produces — so pooled and unpooled answers for one
+// spec are byte-identical.
+func FigureFromWarm(world *PagingWarm, spec Spec) (*Result, error) {
+	r, err := world.Measure(spec.Measure.D())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Spec: spec, Figure: &FigureSummary{
+		Fig:      spec.Figure,
+		MeanMbps: r.MeanMbps,
+		Ratios:   r.Ratios(),
+		MaxLax:   r.Log.MaxLax(),
+	}}, nil
+}
+
 // runFigureSpec executes one figure cell, capturing trace/audit artifacts
-// when the spec asks for them.
+// when the spec asks for them. Untraced figure runs use the warm+measure
+// protocol (measuring on a fork of a warmed world — the same composition
+// nemesis-serve's warm pool performs); traced runs keep the legacy
+// in-place harness, which the recorder requires.
 func runFigureSpec(spec Spec, out *Outcome) error {
 	sum := &FigureSummary{Fig: spec.Figure}
 	switch spec.Figure {
 	case 7, 8:
-		opt := DefaultPagingOptions()
-		opt.Measure = spec.Measure.D()
-		opt.Seed = spec.Seed
-		if spec.Figure == 8 {
-			opt.Write = true
-			opt.Forgetful = true
+		if !spec.Trace {
+			warm, err := WarmPagingSpec(spec)
+			if err != nil {
+				return err
+			}
+			world, err := warm.Fork()
+			if err != nil {
+				return err
+			}
+			warm.Sys.Shutdown()
+			res, err := FigureFromWarm(world, spec)
+			if err != nil {
+				return err
+			}
+			out.Result.Figure = res.Figure
+			return nil
 		}
-		opt.Timeline = spec.Trace
+		opt := PagingOptionsFromSpec(spec)
+		opt.Timeline = true
 		r, err := RunPaging(opt)
 		if err != nil {
 			return err
@@ -376,16 +433,24 @@ func runFigureSpec(spec Spec, out *Outcome) error {
 		sum.MeanMbps = r.MeanMbps
 		sum.Ratios = r.Ratios()
 		sum.MaxLax = r.Log.MaxLax()
-		if spec.Trace {
-			if err := captureArtifacts(out, r.Sys.WriteTimeline, r.Sys.Obs.WriteAuditJSON); err != nil {
-				return err
-			}
+		if err := captureArtifacts(out, r.Sys.WriteTimeline, r.Sys.Obs.WriteAuditJSON); err != nil {
+			return err
 		}
 	case 9:
 		opt := DefaultFig9Options()
 		opt.Measure = spec.Measure.D()
 		opt.Seed = spec.Seed
-		opt.Timeline = spec.Trace
+		if !spec.Trace {
+			r, err := RunFig9Forked(opt, true)
+			if err != nil {
+				return err
+			}
+			sum.AloneMbps = r.AloneMbps
+			sum.ContendedMbps = r.ContendedMbps
+			sum.Isolation = r.Isolation()
+			break
+		}
+		opt.Timeline = true
 		r, err := RunFig9(opt)
 		if err != nil {
 			return err
@@ -393,7 +458,7 @@ func runFigureSpec(spec Spec, out *Outcome) error {
 		sum.AloneMbps = r.AloneMbps
 		sum.ContendedMbps = r.ContendedMbps
 		sum.Isolation = r.Isolation()
-		if spec.Trace && r.ContendedSys != nil {
+		if r.ContendedSys != nil {
 			if err := captureArtifacts(out, r.ContendedSys.WriteTimeline, r.ContendedSys.Obs.WriteAuditJSON); err != nil {
 				return err
 			}

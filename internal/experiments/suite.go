@@ -38,18 +38,62 @@ func RunSuiteContext(ctx context.Context, measure time.Duration, workers int) ([
 	if workers <= 0 {
 		workers = sweep.Workers()
 	}
+	return runSuiteCells(ctx, workers, suiteCellList(measure, suiteLegacy))
+}
+
+// suiteMode selects how the four world-reusing cells of the suite run.
+type suiteMode int
+
+const (
+	// suiteLegacy: the original in-place harnesses (RunPaging, Table1, …),
+	// pinned by the figure goldens and benchmark baselines.
+	suiteLegacy suiteMode = iota
+	// suiteCold: the warm+measure protocol, measuring on the warmed world
+	// itself (no forking).
+	suiteCold
+	// suiteForked: the warm+measure protocol, measuring on forks of shared
+	// warmed worlds. Must match suiteCold byte for byte.
+	suiteForked
+)
+
+// suiteCellDef is one experiment cell of the suite.
+type suiteCellDef struct {
+	name string
+	run  func(ctx context.Context) (string, error)
+}
+
+func runSuiteCells(ctx context.Context, workers int, cells []suiteCellDef) ([]SuiteCell, error) {
+	return sweep.MapWorkersContext(ctx, workers, cells, func(ctx context.Context, c suiteCellDef) (SuiteCell, error) {
+		out, err := c.run(ctx)
+		if err != nil {
+			return SuiteCell{}, fmt.Errorf("%s: %w", c.name, err)
+		}
+		return SuiteCell{Name: c.name, Output: out}, nil
+	})
+}
+
+// suiteCellList builds the suite's cells. Only the four heavyweight cells
+// depend on mode; every other cell runs the same harness in every mode.
+func suiteCellList(measure time.Duration, mode suiteMode) []suiteCellDef {
 	short := measure
 	if short > 15*time.Second {
 		short = 15 * time.Second
 	}
 
-	type cell struct {
-		name string
-		run  func(ctx context.Context) (string, error)
+	runTable1 := Table1
+	runPaging := RunPaging
+	runFig9 := RunFig9
+	if mode != suiteLegacy {
+		forked := mode == suiteForked
+		runTable1 = func() ([]Table1Row, error) { return Table1Forked(1, forked) }
+		runPaging = func(opt PagingOptions) (*PagingResult, error) { return RunPagingForked(opt, forked) }
+		runFig9 = func(opt Fig9Options) (*Fig9Result, error) { return RunFig9Forked(opt, forked) }
 	}
+
+	type cell = suiteCellDef
 	cells := []cell{
 		{"table1", func(context.Context) (string, error) {
-			rows, err := Table1()
+			rows, err := runTable1()
 			if err != nil {
 				return "", err
 			}
@@ -62,7 +106,7 @@ func RunSuiteContext(ctx context.Context, measure time.Duration, workers int) ([
 		{"fig7 paging-in", func(context.Context) (string, error) {
 			opt := DefaultPagingOptions()
 			opt.Measure = measure
-			r, err := RunPaging(opt)
+			r, err := runPaging(opt)
 			if err != nil {
 				return "", err
 			}
@@ -73,7 +117,7 @@ func RunSuiteContext(ctx context.Context, measure time.Duration, workers int) ([
 			opt.Measure = measure
 			opt.Write = true
 			opt.Forgetful = true
-			r, err := RunPaging(opt)
+			r, err := runPaging(opt)
 			if err != nil {
 				return "", err
 			}
@@ -82,7 +126,7 @@ func RunSuiteContext(ctx context.Context, measure time.Duration, workers int) ([
 		{"fig9 fs-isolation", func(context.Context) (string, error) {
 			opt := DefaultFig9Options()
 			opt.Measure = measure
-			r, err := RunFig9(opt)
+			r, err := runFig9(opt)
 			if err != nil {
 				return "", err
 			}
@@ -207,13 +251,7 @@ func RunSuiteContext(ctx context.Context, measure time.Duration, workers int) ([
 		}},
 	}
 
-	return sweep.MapWorkersContext(ctx, workers, cells, func(ctx context.Context, c cell) (SuiteCell, error) {
-		out, err := c.run(ctx)
-		if err != nil {
-			return SuiteCell{}, fmt.Errorf("%s: %w", c.name, err)
-		}
-		return SuiteCell{Name: c.name, Output: out}, nil
-	})
+	return cells
 }
 
 func fmtFloats(fs []float64) string {

@@ -1,0 +1,26 @@
+package sweep
+
+// MapForked runs fn over items where each call receives its own fork of a
+// shared warmed world instead of cold-booting one. The fork callback is
+// invoked serially, in item order, before any cell runs: forking marks the
+// parent's disk chunks copy-on-write, a parent-side mutation that must not
+// race with itself. The forked worlds are then fully independent, so the
+// cells fan out across workers exactly like MapWorkers, with index-ordered
+// results.
+func MapForked[W, I, O any](workers int, items []I, fork func(I) (W, error), fn func(W, I) (O, error)) ([]O, error) {
+	worlds := make([]W, len(items))
+	for i, it := range items {
+		w, err := fork(it)
+		if err != nil {
+			return nil, err
+		}
+		worlds[i] = w
+	}
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	return MapWorkers(workers, idx, func(i int) (O, error) {
+		return fn(worlds[i], items[i])
+	})
+}

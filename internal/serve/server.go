@@ -33,6 +33,11 @@ type Config struct {
 	// NEMESIS_SWEEP_WORKERS or GOMAXPROCS). Results are byte-identical at
 	// any value.
 	SweepWorkers int
+	// WarmWorlds bounds the LRU of resident warmed simulations that
+	// poolable specs fork instead of cold-booting (default 8, negative
+	// disables). Residency only affects latency: pooled and unpooled
+	// answers are byte-identical.
+	WarmWorlds int
 }
 
 func (c *Config) fillDefaults() {
@@ -48,6 +53,9 @@ func (c *Config) fillDefaults() {
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 10 * time.Minute
 	}
+	if c.WarmWorlds == 0 {
+		c.WarmWorlds = 8
+	}
 }
 
 // ErrQueueFull rejects submissions beyond the advertised queue bound.
@@ -60,6 +68,10 @@ type Server struct {
 	cfg   Config
 	run   runFunc
 	cache *Cache
+	// warm is the resident warm-world pool, nil when disabled or when the
+	// server runs a stub runner (tests): the pool bypasses runFunc, so it
+	// only exists alongside the production runner.
+	warm *warmPool
 
 	mu     sync.Mutex
 	jobs   map[string]*Job // every job ever submitted, by id
@@ -81,7 +93,11 @@ type runFunc func(ctx context.Context, spec experiments.Spec, workers int) (*exp
 
 // New starts a server and its worker pool.
 func New(cfg Config) *Server {
-	return newServer(cfg, experiments.RunSpec)
+	s := newServer(cfg, experiments.RunSpec)
+	if s.cfg.WarmWorlds > 0 {
+		s.warm = newWarmPool(s.cfg.WarmWorlds)
+	}
+	return s
 }
 
 func newServer(cfg Config, run runFunc) *Server {
@@ -109,6 +125,9 @@ func newServer(cfg Config, run runFunc) *Server {
 func (s *Server) Close() {
 	s.baseCancel()
 	s.wg.Wait()
+	if s.warm != nil {
+		s.warm.close()
+	}
 }
 
 // Runs reports how many simulations the server actually executed — the
@@ -195,7 +214,13 @@ func (s *Server) runJob(j *Job) {
 	}
 	ctx = sweep.WithProgress(ctx, j.progress)
 	s.runs.Add(1)
-	out, err := s.run(ctx, j.Spec, s.cfg.SweepWorkers)
+	var out *experiments.Outcome
+	var err error
+	if key, poolable := warmPrefixKey(j.Spec); poolable && s.warm != nil {
+		out, err = s.runWarmFigure(key, j)
+	} else {
+		out, err = s.run(ctx, j.Spec, s.cfg.SweepWorkers)
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled):
@@ -215,6 +240,25 @@ func (s *Server) runJob(j *Job) {
 	e := &Entry{Key: j.Key, Body: body, Trace: out.Trace, Audit: out.Audit}
 	s.cache.Put(e)
 	j.complete(e)
+}
+
+// runWarmFigure answers a poolable figure job by forking the resident
+// warmed world for its prefix (warming it on first use) and measuring only
+// the job's own window. The result bytes are identical to what the full
+// runner would produce for the same spec; only the boot phase is skipped.
+func (s *Server) runWarmFigure(key string, j *Job) (*experiments.Outcome, error) {
+	world, err := s.warm.fork(key, func() (*experiments.PagingWarm, error) {
+		return experiments.WarmPagingSpec(j.Spec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := experiments.FigureFromWarm(world, j.Spec)
+	if err != nil {
+		return nil, err
+	}
+	j.progress(1, 1) // match the single-cell sweep contract
+	return &experiments.Outcome{Result: res}, nil
 }
 
 // ---- HTTP layer ----
@@ -448,7 +492,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	jobs := len(s.jobs)
 	activeJobs := len(s.active)
 	s.mu.Unlock()
+	var warmResident int
+	var warmHits, warmMisses int64
+	if s.warm != nil {
+		warmResident, warmHits, warmMisses = s.warm.stats()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"warm_worlds":   warmResident,
+		"warm_hits":     warmHits,
+		"warm_misses":   warmMisses,
 		"jobs":          jobs,
 		"active":        activeJobs,
 		"queue_len":     len(s.queue),

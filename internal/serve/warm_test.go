@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nemesis/internal/experiments"
+)
+
+func figSpec(fig int, measure time.Duration) experiments.Spec {
+	return experiments.Spec{
+		Kind:    experiments.KindFigure,
+		Figure:  fig,
+		Measure: experiments.Duration(measure),
+	}
+}
+
+func TestWarmPrefixKey(t *testing.T) {
+	k1, ok := warmPrefixKey(figSpec(7, time.Second))
+	if !ok || k1 == "" {
+		t.Fatalf("fig7 spec not poolable")
+	}
+	k2, ok := warmPrefixKey(figSpec(7, 2*time.Second))
+	if !ok || k2 != k1 {
+		t.Errorf("measure window must not affect the warm-prefix key: %s vs %s", k1, k2)
+	}
+	k8, ok := warmPrefixKey(figSpec(8, time.Second))
+	if !ok || k8 == k1 {
+		t.Errorf("fig8 must hash to a different prefix than fig7")
+	}
+	traced := figSpec(7, time.Second)
+	traced.Trace = true
+	if _, ok := warmPrefixKey(traced); ok {
+		t.Errorf("traced specs must not be poolable")
+	}
+	if _, ok := warmPrefixKey(cheapSpec(1)); ok {
+		t.Errorf("cluster specs must not be poolable")
+	}
+}
+
+// TestWarmPoolReuse submits two figure-7 jobs that differ only in their
+// measured window: the second must fork the world the first one warmed
+// (one miss, then one hit), and both bodies must be byte-identical to
+// what the CLI path produces for the same spec — residency is a latency
+// optimisation, never part of result identity.
+func TestWarmPoolReuse(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if s.warm == nil {
+		t.Fatal("production server should enable the warm pool by default")
+	}
+
+	for i, measure := range []time.Duration{time.Second, 2 * time.Second} {
+		spec := figSpec(7, measure)
+		out, err := experiments.RunSpec(context.Background(), spec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := experiments.EncodeResult(out.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := postSpec(t, ts, "/run", spec)
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		if !bytes.Equal(want, body) {
+			t.Errorf("run %d: pooled body differs from CLI body:\nCLI:\n%s\nAPI:\n%s", i, want, body)
+		}
+	}
+
+	resident, hits, misses := s.warm.stats()
+	if resident != 1 || hits != 1 || misses != 1 {
+		t.Errorf("pool stats after two sibling jobs: resident=%d hits=%d misses=%d, want 1/1/1",
+			resident, hits, misses)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(readBody(t, resp), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["warm_worlds"].(float64) != 1 || stats["warm_hits"].(float64) != 1 {
+		t.Errorf("stats endpoint: warm_worlds=%v warm_hits=%v warm_misses=%v",
+			stats["warm_worlds"], stats["warm_hits"], stats["warm_misses"])
+	}
+}
+
+// TestWarmPoolEviction: the pool is a bounded LRU; inserting past its
+// capacity evicts the least recently used world.
+func TestWarmPoolEviction(t *testing.T) {
+	built := 0
+	p := newWarmPool(1)
+	build := func() (*experiments.PagingWarm, error) {
+		built++
+		opt := experiments.DefaultPagingOptions()
+		opt.Measure = time.Second
+		return experiments.WarmPaging(opt)
+	}
+	for _, key := range []string{"a", "b", "a"} {
+		w, err := p.fork(key, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Sys.Shutdown()
+	}
+	defer p.close()
+	if built != 3 {
+		t.Errorf("built %d worlds, want 3 (a evicted by b, rebuilt on reuse)", built)
+	}
+	resident, hits, misses := p.stats()
+	if resident != 1 || hits != 0 || misses != 3 {
+		t.Errorf("stats: resident=%d hits=%d misses=%d, want 1/0/3", resident, hits, misses)
+	}
+}

@@ -1,0 +1,35 @@
+package sfs
+
+import (
+	"fmt"
+
+	"nemesis/internal/usd"
+)
+
+// Fork returns a deep copy of the SFS bound to the forked USD. chans is the
+// channel identity map USD.Fork returned: each swap file re-points its IO
+// channel at the forked twin. The returned map translates parent swap-file
+// pointers for holders such as stretch-driver backings.
+func (s *SFS) Fork(nu *usd.USD, chans map[*usd.Channel]*usd.Channel) (*SFS, map[*SwapFile]*SwapFile, error) {
+	ns := &SFS{
+		usd:  nu,
+		part: s.part,
+		alloc: &extentAllocator{
+			base: s.alloc.base,
+			size: s.alloc.size,
+			free: append([]span(nil), s.alloc.free...),
+		},
+		files: make(map[string]*SwapFile, len(s.files)),
+	}
+	m := make(map[*SwapFile]*SwapFile, len(s.files))
+	for name, f := range s.files {
+		nch := chans[f.ch]
+		if nch == nil {
+			return nil, nil, fmt.Errorf("sfs: no forked channel for swap file %q", name)
+		}
+		nf := &SwapFile{name: f.name, sfs: ns, extent: f.extent, ch: nch}
+		ns.files[name] = nf
+		m[f] = nf
+	}
+	return ns, m, nil
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The counting source must be invisible: the stream a seeded Simulator hands
+// out has to match rand.New(rand.NewSource(seed)) exactly, or every golden
+// trace and bench baseline in the repo would shift.
+func TestRandStreamMatchesStdlib(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, -3} {
+		s := New(seed)
+		ref := rand.New(rand.NewSource(seed))
+		for i := 0; i < 1000; i++ {
+			switch i % 4 {
+			case 0:
+				if got, want := s.Rand().Int63(), ref.Int63(); got != want {
+					t.Fatalf("seed %d draw %d: Int63 %d != %d", seed, i, got, want)
+				}
+			case 1:
+				if got, want := s.Rand().Intn(97), ref.Intn(97); got != want {
+					t.Fatalf("seed %d draw %d: Intn %d != %d", seed, i, got, want)
+				}
+			case 2:
+				if got, want := s.Rand().Float64(), ref.Float64(); got != want {
+					t.Fatalf("seed %d draw %d: Float64 %v != %v", seed, i, got, want)
+				}
+			case 3:
+				if got, want := s.Rand().Uint64(), ref.Uint64(); got != want {
+					t.Fatalf("seed %d draw %d: Uint64 %d != %d", seed, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// A fork must resume the random stream at the parent's exact position, and
+// the two streams must then be independent.
+func TestForkRandStream(t *testing.T) {
+	s := New(99)
+	for i := 0; i < 137; i++ {
+		s.Rand().Int63()
+	}
+	if s.RandDraws() != 137 {
+		t.Fatalf("RandDraws = %d, want 137", s.RandDraws())
+	}
+	child := s.Fork()
+	if child.RandDraws() != 137 {
+		t.Fatalf("child RandDraws = %d, want 137", child.RandDraws())
+	}
+	// Same next values.
+	for i := 0; i < 64; i++ {
+		a, b := s.Rand().Int63(), child.Rand().Int63()
+		if a != b {
+			t.Fatalf("draw %d after fork: parent %d != child %d", i, a, b)
+		}
+	}
+	// Independence: burning draws on the child leaves the parent untouched.
+	for i := 0; i < 10; i++ {
+		child.Rand().Int63()
+	}
+	s2 := New(99)
+	for i := 0; i < 137+64; i++ {
+		s2.Rand().Int63()
+	}
+	if got, want := s.Rand().Int63(), s2.Rand().Int63(); got != want {
+		t.Fatalf("parent stream perturbed by child draws: %d != %d", got, want)
+	}
+}
+
+// A fork copies clock and sequence counter but starts with an empty queue,
+// and events scheduled on one never run on the other.
+func TestForkClockAndQueueIndependence(t *testing.T) {
+	s := New(1)
+	s.After(5*time.Millisecond, func() {})
+	s.RunFor(10 * time.Millisecond)
+
+	child := s.Fork()
+	if child.Now() != s.Now() {
+		t.Fatalf("child clock %v != parent %v", child.Now(), s.Now())
+	}
+	if child.Pending() != 0 {
+		t.Fatalf("child queue not empty: %d", child.Pending())
+	}
+	ranOnChild := 0
+	ranOnParent := 0
+	child.After(time.Millisecond, func() { ranOnChild++ })
+	s.After(time.Millisecond, func() { ranOnParent++ })
+	child.RunFor(2 * time.Millisecond)
+	if ranOnChild != 1 || ranOnParent != 0 {
+		t.Fatalf("child run fired child=%d parent=%d, want 1, 0", ranOnChild, ranOnParent)
+	}
+	s.RunFor(2 * time.Millisecond)
+	if ranOnParent != 1 {
+		t.Fatalf("parent event did not fire: %d", ranOnParent)
+	}
+}
+
+// RestoreAt re-arms snapshot timers with their original sequence numbers so
+// same-instant events keep the parent's tie order, even when re-armed in a
+// different order; fresh events sort after every restored one.
+func TestRestoreAtPreservesTieOrder(t *testing.T) {
+	s := New(1)
+	at := s.Now().Add(3 * time.Millisecond)
+	t1 := s.At(at, func() {})
+	t2 := s.At(at, func() {})
+	_, seq1, ok1 := t1.When()
+	_, seq2, ok2 := t2.When()
+	if !ok1 || !ok2 || seq1 >= seq2 {
+		t.Fatalf("bad timer introspection: %d %v, %d %v", seq1, ok1, seq2, ok2)
+	}
+
+	child := s.Fork()
+	var order []string
+	// Re-arm in reverse order; dispatch must still follow original seq.
+	child.RestoreAt(at, seq2, func() { order = append(order, "b") })
+	child.RestoreAt(at, seq1, func() { order = append(order, "a") })
+	child.At(at, func() { order = append(order, "fresh") })
+	child.RunFor(5 * time.Millisecond)
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "fresh" {
+		t.Fatalf("dispatch order = %v, want [a b fresh]", order)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("RestoreAt above the copied counter must panic")
+		}
+	}()
+	child.RestoreAt(at, child.seq+100, func() {})
+}
+
+// Regression for the Shutdown+fork interaction: a forked world's processes
+// are independently killable, and the parent survives a child's Shutdown
+// with its own processes running on.
+func TestForkShutdownIndependence(t *testing.T) {
+	parent := New(1)
+	parentTicks := 0
+	parent.Spawn("svc", func(p *Proc) {
+		for {
+			p.Sleep(time.Millisecond)
+			parentTicks++
+		}
+	})
+	parent.RunFor(5 * time.Millisecond)
+	if parentTicks == 0 {
+		t.Fatalf("parent service never ran")
+	}
+
+	child := parent.Fork()
+	childTicks := 0
+	child.Spawn("svc", func(p *Proc) {
+		for {
+			p.Sleep(time.Millisecond)
+			childTicks++
+		}
+	})
+	child.RunFor(5 * time.Millisecond)
+	if childTicks == 0 {
+		t.Fatalf("child service never ran")
+	}
+
+	// Shutting the child down must not touch the parent's process.
+	child.Shutdown()
+	if child.Live() != 0 {
+		t.Fatalf("child still has %d live procs after Shutdown", child.Live())
+	}
+	before := parentTicks
+	parent.RunFor(5 * time.Millisecond)
+	if parentTicks <= before {
+		t.Fatalf("parent service died with the child's shutdown (ticks stuck at %d)", parentTicks)
+	}
+	if parent.Live() != 1 {
+		t.Fatalf("parent Live = %d, want 1", parent.Live())
+	}
+	parent.Shutdown()
+	if parent.Live() != 0 {
+		t.Fatalf("parent still has %d live procs after Shutdown", parent.Live())
+	}
+}

@@ -103,6 +103,7 @@ type Simulator struct {
 	events  eventHeap
 	seq     uint64
 	free    []*event // recycled events
+	src     *countingSource
 	rng     *rand.Rand
 	current *Proc   // process currently executing, if any
 	live    int     // spawned processes that have not yet finished
@@ -112,15 +113,24 @@ type Simulator struct {
 	// measure of how much simulated work a run performed.
 	dispatched int64
 
+	// donations maps a process to a wake-event sequence number reserved for
+	// it by a snapshot (see DonateWakeSeq): a respawned service loop's next
+	// timed park at the recorded instant reuses the parent event's seq, so
+	// same-instant tie order is identical on both sides of a fork.
+	donations map[*Proc]donatedWake
+
 	// Trace, when non-nil, receives a line for every dispatched event.
 	// Used only by tests and debugging tools.
 	Trace func(t Time, what string)
 }
 
 // New returns a simulator whose random source is seeded with seed. The same
-// seed always yields the same execution.
+// seed always yields the same execution. The source is the stdlib one behind
+// a draw counter, so the stream is identical to rand.New(rand.NewSource(seed))
+// and a Fork can clone the position exactly.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	src := newCountingSource(seed)
+	return &Simulator{src: src, rng: rand.New(src)}
 }
 
 // Now returns the current simulated instant.
@@ -202,9 +212,15 @@ func (s *Simulator) At(t Time, fn func()) Timer {
 }
 
 // atWake schedules a wakeup of p with token tok at instant t, without
-// allocating a closure.
+// allocating a closure. A pending seq donation for (p, t) — registered by a
+// snapshot via DonateWakeSeq — replaces the freshly drawn seq so the park
+// event sorts exactly where the parent world's did.
 func (s *Simulator) atWake(t Time, p *Proc, tok uint64) Timer {
 	ev := s.alloc(t)
+	if d, ok := s.donations[p]; ok && d.t == ev.t {
+		ev.seq = d.seq
+		delete(s.donations, p)
+	}
 	ev.p = p
 	ev.tok = tok
 	s.events.push(ev)

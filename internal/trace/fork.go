@@ -1,0 +1,19 @@
+package trace
+
+// Clone returns an independent copy of the log. Nil clones to nil, matching
+// the nil-safe accessors: a world without tracing forks to a world without
+// tracing.
+func (l *Log) Clone() *Log {
+	if l == nil {
+		return nil
+	}
+	return &Log{events: append([]Event(nil), l.events...)}
+}
+
+// Clone returns an independent copy of the series.
+func (s *Series) Clone() *Series {
+	if s == nil {
+		return nil
+	}
+	return &Series{Name: s.Name, Points: append([]Point(nil), s.Points...)}
+}
