@@ -415,3 +415,38 @@ func BenchmarkMotivationMJPEG(b *testing.B) {
 	b.ReportMetric(last.QoSJitterMs, "qos_jitter_ms")
 	b.ReportMetric(last.FCFSJitterMs, "fcfs_jitter_ms")
 }
+
+// BenchmarkClusterSummary runs a traced two-machine cluster and reports the
+// merged observability rollup's deterministic shape: how many fault spans
+// the cluster recorded, how many distinct fault-path hops the merged
+// latency rollup covers, and the top domain's fault-blocked share. These
+// sim_summary_* metrics gate the whole cross-machine pipeline — per-machine
+// Summarize, flow-tagged tracing, and the order-independent merge — so any
+// drift in what the rollup reports fails benchcmp even when wall-clock
+// stays flat.
+func BenchmarkClusterSummary(b *testing.B) {
+	b.ReportAllocs()
+	var last *experiments.ClusterResult
+	for i := 0; i < b.N; i++ {
+		opt := experiments.DefaultClusterOptions()
+		opt.Machines = 2
+		opt.DomainsPerMachine = 40
+		opt.Servers = 2
+		opt.Trace = true
+		r, err := experiments.RunCluster(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	sum := last.Summary
+	if sum == nil || last.Trace == nil {
+		b.Fatal("traced run produced no rollup or no trace")
+	}
+	if len(sum.TopDomains) == 0 {
+		b.Fatal("rollup has no top domains")
+	}
+	b.ReportMetric(float64(sum.Spans), "sim_summary_spans")
+	b.ReportMetric(float64(len(sum.Hops)), "sim_summary_hops")
+	b.ReportMetric(100*sum.TopDomains[0].Share(), "sim_summary_top_share_pct")
+}

@@ -3,9 +3,10 @@
 // external dependencies and a gate suited to a deterministic simulator:
 //
 //   - Metrics whose unit matches -gate (default "sim_us|sim_attr|
-//     sim_events|sim_fork") are simulated-time or snapshot-accounting
-//     results. They are deterministic — any drift beyond -fail-over percent
-//     means the simulation's behaviour changed, and the comparison fails.
+//     sim_events|sim_fork|sim_summary") are simulated-time or
+//     snapshot-accounting results. They are deterministic — any drift
+//     beyond -fail-over percent means the simulation's behaviour changed,
+//     and the comparison fails.
 //   - Wall-clock results (ns/op) and allocation counts (B/op, allocs/op)
 //     are reported informationally; they vary with hardware and load, so
 //     they never fail the comparison by default. Use -fail-allocs to also
@@ -167,7 +168,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against")
 	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
 	failOver := flag.Float64("fail-over", 10, "fail when a gated metric drifts more than this percent")
-	gate := flag.String("gate", "sim_us|sim_attr|sim_events|sim_fork", "regexp: metric units to gate (deterministic simulated-time results)")
+	gate := flag.String("gate", "sim_us|sim_attr|sim_events|sim_fork|sim_summary", "regexp: metric units to gate (deterministic simulated-time results)")
 	failAllocs := flag.Bool("fail-allocs", false, "also gate allocs/op increases beyond -fail-over percent")
 	flag.Parse()
 

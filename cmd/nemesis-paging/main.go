@@ -25,7 +25,11 @@
 //	         remotely to a pool of -cluster-servers swap servers per machine
 //	         under byte-reserving admission; prints the per-machine summary
 //	         table (byte-identical at any -workers count) and optionally
-//	         exports the full result as JSON with -cluster-json
+//	         exports the full result as JSON with -cluster-json; with
+//	         -cluster-trace it also records every machine's timeline and
+//	         writes ONE merged Perfetto trace — a process lane per machine
+//	         and per swap server, with flow arrows linking each client
+//	         net.out hop to the server-side service slice it triggered
 //
 // The -suite-json and -cluster-json exports use the same spec/result schema
 // as the nemesis-serve HTTP API (internal/experiments.Spec/Result): for a
@@ -140,6 +144,7 @@ func main() {
 	clusterDomains := flag.Int("cluster-domains", 0, "domains per cluster machine (0 = default 250)")
 	clusterServers := flag.Int("cluster-servers", 0, "swap servers per cluster machine (0 = default 2)")
 	clusterJSON := flag.String("cluster-json", "", "write the full cluster result as JSON to this file")
+	clusterTrace := flag.String("cluster-trace", "", "write the merged cross-machine Perfetto trace (client + swap-server lanes with flow arrows) to this file")
 	workers := flag.Int("workers", 0, "sweep fan-out width (0 = NEMESIS_SWEEP_WORKERS or GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -171,7 +176,8 @@ func main() {
 			Measure:           clusterMeasure,
 			Seed:              *seed,
 			Workers:           *workers,
-		}, *clusterJSON)
+			Trace:             *clusterTrace != "",
+		}, *clusterJSON, *clusterTrace)
 		return
 	}
 	if *ext {
@@ -331,28 +337,44 @@ func writeTimelines(sys *core.System, tracePath, jsonlPath string) {
 }
 
 // runCluster runs the cluster paging scenario, prints the deterministic
-// per-machine summary, and optionally exports the full result as JSON. The
-// run goes through experiments.RunSpec so the JSON export carries the same
-// schema — and for the same spec, the same bytes — as the nemesis-serve API.
-func runCluster(opt experiments.ClusterOptions, jsonPath string) {
+// per-machine summary, and optionally exports the full result as JSON and
+// the merged cross-machine trace. The result carries the normalized spec,
+// so the JSON export has the same schema — and for the same spec, the same
+// bytes — as the nemesis-serve API; tracing never changes the result bytes.
+func runCluster(opt experiments.ClusterOptions, jsonPath, tracePath string) {
 	start := time.Now()
-	out, err := experiments.RunSpec(context.Background(), experiments.Spec{
+	spec := experiments.Spec{
 		Kind:              experiments.KindCluster,
 		Machines:          opt.Machines,
 		DomainsPerMachine: opt.DomainsPerMachine,
 		Servers:           opt.Servers,
 		Measure:           experiments.Duration(opt.Measure),
 		Seed:              opt.Seed,
-	}, opt.Workers)
+	}
+	if err := spec.Normalize(); err != nil {
+		fatalf("nemesis-paging: %v", err)
+	}
+	res, err := experiments.RunClusterContext(context.Background(), experiments.ClusterOptions{
+		Machines:          spec.Machines,
+		DomainsPerMachine: spec.DomainsPerMachine,
+		Servers:           spec.Servers,
+		Measure:           spec.Measure.D(),
+		Seed:              spec.Seed,
+		Workers:           opt.Workers,
+		Trace:             opt.Trace,
+	})
 	if err != nil {
 		fatalf("nemesis-paging: %v", err)
 	}
-	if err := out.Result.Cluster.WriteSummary(os.Stdout); err != nil {
+	if err := res.WriteSummary(os.Stdout); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("# cluster: %.2fs wall\n", time.Since(start).Seconds())
 	if jsonPath != "" {
-		writeResultJSON(jsonPath, out.Result)
+		writeResultJSON(jsonPath, &experiments.Result{Spec: spec, Cluster: res})
+	}
+	if tracePath != "" {
+		writeFile(tracePath, res.Trace.WriteTrace)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	curl -s localhost:8080/jobs -d '{"kind":"suite","measure":"15s"}'
 //	curl -s localhost:8080/jobs/j1/events        # SSE progress stream
 //	curl -s localhost:8080/jobs/j1/result
+//	curl -s localhost:8080/metrics               # Prometheus text exposition
 //
 // Because every experiment is a pure function of its spec, identical
 // submissions — regardless of field order, default spelling, or duration
@@ -19,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,14 +38,20 @@ func main() {
 	cache := flag.Int("cache", 0, "result cache entries (default 512)")
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock cap (default 10m)")
 	sweepWorkers := flag.Int("sweep-workers", 0, "per-job sweep fan-out (default NEMESIS_SWEEP_WORKERS or GOMAXPROCS; results identical at any value)")
+	quiet := flag.Bool("quiet", false, "disable structured request/job logging")
 	flag.Parse()
 
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	s := serve.New(serve.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
 		JobTimeout:   *timeout,
 		SweepWorkers: *sweepWorkers,
+		Logger:       logger,
 	})
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

@@ -10,7 +10,8 @@
 //	-seed 1        simulation seed
 //	-spans         also dump the retained span table (per-hop TSV)
 //	-metrics       also dump the full metric registry as TSV
-//	-json          dump the final registry snapshot as JSON instead
+//	-json          dump the final top table as JSON (rows + rollup) instead
+//	-registry-json dump the full registry snapshot as JSON instead
 package main
 
 import (
@@ -32,7 +33,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	spans := flag.Bool("spans", false, "dump per-hop span latency TSV at the end")
 	metrics := flag.Bool("metrics", false, "dump the metric registry TSV at the end")
-	jsonOut := flag.Bool("json", false, "dump the final registry snapshot as JSON")
+	jsonOut := flag.Bool("json", false, "dump the final top table as JSON (rows + rollup)")
+	regJSON := flag.Bool("registry-json", false, "dump the full registry snapshot as JSON")
 	flag.Parse()
 
 	opt := experiments.DefaultPagingOptions()
@@ -46,7 +48,7 @@ func main() {
 	} else if *fig != 7 {
 		log.Fatalf("nemesis-top: unknown figure %d", *fig)
 	}
-	if !*jsonOut {
+	if !*jsonOut && !*regJSON {
 		opt.OnSnapshot = func(sys *core.System) {
 			fmt.Printf("--- t=%.1fs ---\n", sys.Sim.Now().Seconds())
 			if err := sys.WriteTopTable(os.Stdout); err != nil {
@@ -63,6 +65,12 @@ func main() {
 	sys := r.Sys
 
 	if *jsonOut {
+		if err := sys.WriteTopJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *regJSON {
 		if err := sys.Obs.WriteJSON(os.Stdout); err != nil {
 			log.Fatal(err)
 		}

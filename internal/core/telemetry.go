@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -100,7 +101,85 @@ func (sys *System) WriteTopTable(w io.Writer) error {
 	fmt.Fprintf(w, "free frames: %d   spans recorded: %d   spans evicted: %d   crosstalk flags: %d   t=%.0fms\n",
 		sys.Frames.FreeFrames(), sys.Obs.SpanTotal(), sys.Obs.SpansEvicted(),
 		len(sys.Obs.Flags()), sys.Obs.Now().Milliseconds())
+	fmt.Fprintln(w)
+	if err := sys.Obs.Summarize(topTableTopK).WriteText(w); err != nil {
+		return err
+	}
 	return sys.writeAttributionTable(w)
+}
+
+// topTableTopK bounds the top table's rollup to the worst offenders; the
+// per-domain rows above it stay exhaustive.
+const topTableTopK = 10
+
+// TopDomain is one row of the top table in machine-readable form. The
+// end-to-end fault latency comes as the full histogram snapshot, so readers
+// can derive any quantile (and snapshots from several machines merge).
+type TopDomain struct {
+	Domain      string           `json:"domain"`
+	Faults      int64            `json:"faults"`
+	FastPath    int64            `json:"fast_path"`
+	WorkerPath  int64            `json:"worker_path"`
+	PageIns     int64            `json:"pageins"`
+	PageOuts    int64            `json:"pageouts"`
+	Revocations int64            `json:"revocations"`
+	Frames      uint64           `json:"frames"`
+	E2E         obs.HistSnapshot `json:"e2e"`
+}
+
+// TopDump is nemesis-top's machine-readable snapshot: every WriteTopTable
+// row plus the registry rollup the rendered table embeds.
+type TopDump struct {
+	FreeFrames int          `json:"free_frames"`
+	Domains    []TopDomain  `json:"domains"`
+	Summary    *obs.Summary `json:"summary"`
+}
+
+// TopDump snapshots the top table. Returns an error if telemetry is
+// disabled.
+func (sys *System) TopDump() (*TopDump, error) {
+	if sys.Obs == nil {
+		return nil, fmt.Errorf("core: telemetry disabled (Config.Telemetry)")
+	}
+	d := &TopDump{
+		FreeFrames: sys.Frames.FreeFrames(),
+		Summary:    sys.Obs.Summarize(topTableTopK),
+	}
+	for _, dom := range sys.Domains() {
+		st := dom.Stats()
+		name := dom.Name()
+		row := TopDomain{
+			Domain:      name,
+			Faults:      st.Faults,
+			FastPath:    st.FastPath,
+			WorkerPath:  st.WorkerPath,
+			PageIns:     sys.Obs.LookupCounter("driver", "pageins", name).Value(),
+			PageOuts:    sys.Obs.LookupCounter("driver", "pageouts", name).Value(),
+			Revocations: st.Revocations,
+			E2E:         sys.Obs.LookupHistogram("span", "e2e.page", name).Snapshot(),
+		}
+		if c := dom.MemClient(); c != nil {
+			row.Frames = c.Allocated()
+		}
+		d.Domains = append(d.Domains, row)
+	}
+	return d, nil
+}
+
+// WriteTopJSON renders the machine-readable top table as two-space indented
+// JSON with a trailing newline — byte-deterministic for a given run, like
+// every other export.
+func (sys *System) WriteTopJSON(w io.Writer) error {
+	d, err := sys.TopDump()
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
 }
 
 // writeAttributionTable renders the exact sim-time attribution — where every

@@ -77,9 +77,39 @@ func TestTopTableGolden(t *testing.T) {
 	sys.Shutdown()
 	sys.RunUntilIdle(1 << 22)
 
-	path := filepath.Join("testdata", "toptable.golden")
+	checkGolden(t, filepath.Join("testdata", "toptable.golden"), got)
+}
+
+// TestTopJSONGolden pins the machine-readable top dump (nemesis-top -json)
+// for the same seeded two-domain run as the table golden: rows, histogram
+// snapshots and the embedded rollup all drift visibly.
+func TestTopJSONGolden(t *testing.T) {
+	sys := telemetrySystem()
+	var doneA, doneB bool
+	startChurn(t, sys, "alpha", 12, &doneA)
+	startChurn(t, sys, "beta", 8, &doneB)
+	sys.Run(60 * time.Second)
+	if !doneA || !doneB {
+		t.Fatalf("workloads incomplete: alpha=%v beta=%v", doneA, doneB)
+	}
+
+	var sb strings.Builder
+	if err := sys.WriteTopJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	sys.Shutdown()
+	sys.RunUntilIdle(1 << 22)
+
+	checkGolden(t, filepath.Join("testdata", "topjson.golden"), got)
+}
+
+// checkGolden compares got against the golden file, rewriting it under
+// -update.
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
 	if *updateGolden {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
 		}
 		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
@@ -93,6 +123,6 @@ func TestTopTableGolden(t *testing.T) {
 		t.Fatalf("reading golden file (run with -update to generate): %v", err)
 	}
 	if got != string(want) {
-		t.Errorf("top table drifted\n got:\n%s\nwant:\n%s", got, string(want))
+		t.Errorf("output drifted from %s\n got:\n%s\nwant:\n%s", path, got, string(want))
 	}
 }

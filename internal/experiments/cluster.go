@@ -57,6 +57,13 @@ type ClusterOptions struct {
 	// Workers caps the sweep fan-out (0 = NEMESIS_SWEEP_WORKERS or
 	// GOMAXPROCS). Results are identical for any value.
 	Workers int `json:"-"`
+	// Trace additionally captures every machine's timeline — client fault
+	// spans tagged with cross-machine flow IDs, plus a separate registry per
+	// swap server observing its service spans — and merges them into
+	// ClusterResult.Trace. Tracing observes; it never schedules: the summary
+	// numbers (and the result JSON) are identical traced or not, which is why
+	// Trace, like Workers, is not part of the result's identity.
+	Trace bool `json:"-"`
 }
 
 // DefaultClusterOptions returns the standard 1,000-domain cluster:
@@ -122,13 +129,32 @@ type ClusterMachine struct {
 	Kills        int   `json:"revocation_kills"`
 	Flags        int   `json:"crosstalk_flags"`
 	MonitorTicks int64 `json:"monitor_ticks"`
+
+	// Summary is the machine's telemetry rollup, domains prefixed "m<N>/".
+	// Carried in memory only: the result serialises one merged rollup, not
+	// per-machine copies.
+	Summary *obs.Summary `json:"-"`
+	// Timelines are the machine's trace lanes (the client machine plus one
+	// per swap server), present only on traced runs.
+	Timelines []obs.MachineTimeline `json:"-"`
 }
 
 // ClusterResult is the whole cluster run.
 type ClusterResult struct {
 	Options  ClusterOptions   `json:"options"`
 	Machines []ClusterMachine `json:"machines"`
+	// Summary is the cluster-wide rollup: every machine's Summarize merged
+	// in machine order (the merge is order-independent, so any order gives
+	// the same bytes) and truncated to the top-K domains once at the end.
+	Summary *obs.Summary `json:"summary,omitempty"`
+	// Trace is the merged cluster timeline of a traced run — render it with
+	// WriteTrace. Not serialised with the result: the CLI and the service
+	// write traces to their own artifacts.
+	Trace *obs.TimelineDump `json:"-"`
 }
+
+// clusterTopK bounds the merged rollup's domain ranking.
+const clusterTopK = 10
 
 // Totals sums the machine summaries.
 func (r *ClusterResult) Totals() ClusterMachine {
@@ -172,11 +198,27 @@ func RunClusterContext(ctx context.Context, opt ClusterOptions) (*ClusterResult,
 	if err != nil {
 		return nil, err
 	}
+	return assembleCluster(opt, cells), nil
+}
+
+// assembleCluster folds machine cells (in machine order) into the result:
+// the per-machine rollups merge into one cluster summary, and on traced runs
+// the per-machine timeline lanes merge into one cluster dump.
+func assembleCluster(opt ClusterOptions, cells []*ClusterMachine) *ClusterResult {
 	res := &ClusterResult{Options: opt}
+	sum := &obs.Summary{}
+	var lanes []obs.MachineTimeline
 	for _, c := range cells {
 		res.Machines = append(res.Machines, *c)
+		sum.Merge(c.Summary)
+		lanes = append(lanes, c.Timelines...)
 	}
-	return res, nil
+	sum.Truncate(sum.TopK)
+	res.Summary = sum
+	if opt.Trace {
+		res.Trace = obs.MergeTimelines(lanes)
+	}
+	return res
 }
 
 func sweepWorkers(n int) int {
@@ -210,6 +252,15 @@ func runClusterMachine(machine int, opt ClusterOptions) (*ClusterMachine, error)
 	if err != nil {
 		return nil, err
 	}
+	if opt.Trace {
+		// Disjoint flow-ID bases keep every machine's flows unique in the
+		// merged trace; each swap server gets its own registry — it is its
+		// own machine, sharing only the simulated clock.
+		sys.Obs.SetFlowBase(uint64(machine+1) << 32)
+		for i := 0; i < pool.Servers(); i++ {
+			pool.Fabric(i).Server.SetObs(obs.NewRegistry(sys.Sim.Now))
+		}
+	}
 
 	hot := int(float64(n) * opt.HotFraction)
 	if hot < 1 {
@@ -229,7 +280,9 @@ func runClusterMachine(machine int, opt ClusterOptions) (*ClusterMachine, error)
 	var bytesTouched int64
 	doms := make([]*domain.Domain, 0, n)
 	for i := 0; i < n; i++ {
-		name := fmt.Sprintf("m%d-d%d", machine, i)
+		// Domains are named machine-locally ("d0"…), matching the forked
+		// path; the machine lane ("m0") qualifies them in merged artifacts.
+		name := fmt.Sprintf("d%d", i)
 		dom, err := sys.NewDomain(name, cpuQoS, mem.Contract{Guaranteed: uint64(opt.PhysFrames)})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: admit %s: %w", name, err)
@@ -307,7 +360,31 @@ func runClusterMachine(machine int, opt ClusterOptions) (*ClusterMachine, error)
 	if mon != nil {
 		cell.MonitorTicks = mon.Ticks()
 	}
+	collectClusterObs(cell, machine, sys.Obs, pool, opt.Trace)
 	return cell, nil
+}
+
+// collectClusterObs captures one finished machine's rollup and — on traced
+// runs — its timeline lanes: the client machine ("m2") plus one lane per
+// swap server ("m2.swap0"). Shared by the cold and forked cluster paths so
+// both produce identical artifacts.
+func collectClusterObs(cell *ClusterMachine, machine int, reg *obs.Registry, pool *netswap.Pool, trace bool) {
+	lane := fmt.Sprintf("m%d", machine)
+	sum := reg.Summarize(clusterTopK)
+	sum.Prefix(lane + "/")
+	cell.Summary = sum
+	if !trace {
+		return
+	}
+	cell.Timelines = append(cell.Timelines, obs.MachineTimeline{Machine: lane, Dump: obs.Timeline{Reg: reg}.Dump()})
+	for i := 0; i < pool.Servers(); i++ {
+		if sreg := pool.Fabric(i).Server.Obs(); sreg != nil {
+			cell.Timelines = append(cell.Timelines, obs.MachineTimeline{
+				Machine: fmt.Sprintf("%s.swap%d", lane, i),
+				Dump:    obs.Timeline{Reg: sreg}.Dump(),
+			})
+		}
+	}
 }
 
 // WriteSummary renders the per-machine table plus totals. The output is a
@@ -328,5 +405,14 @@ func (r *ClusterResult) WriteSummary(w io.Writer) error {
 		row(fmt.Sprintf("m%d", m.Machine), m)
 	}
 	row("total", r.Totals())
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if r.Summary != nil {
+		fmt.Fprintln(w)
+		if err := r.Summary.WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }

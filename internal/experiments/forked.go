@@ -635,6 +635,12 @@ func runWarmedClusterMachine(w *clusterWarm, machine int, opt ClusterOptions) (*
 	if err != nil {
 		return nil, err
 	}
+	if opt.Trace {
+		sys.Obs.SetFlowBase(uint64(machine+1) << 32)
+		for i := 0; i < pool.Servers(); i++ {
+			pool.Fabric(i).Server.SetObs(obs.NewRegistry(sys.Sim.Now))
+		}
+	}
 
 	hot := int(float64(n) * opt.HotFraction)
 	if hot < 1 {
@@ -709,6 +715,7 @@ func runWarmedClusterMachine(w *clusterWarm, machine int, opt ClusterOptions) (*
 	if mon != nil {
 		cell.MonitorTicks = mon.Ticks()
 	}
+	collectClusterObs(cell, machine, sys.Obs, pool, opt.Trace)
 	return cell, nil
 }
 
@@ -749,11 +756,7 @@ func RunClusterForked(opt ClusterOptions, forked bool) (*ClusterResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &ClusterResult{Options: opt}
-	for _, c := range cells {
-		res.Machines = append(res.Machines, *c)
-	}
-	return res, nil
+	return assembleCluster(opt, cells), nil
 }
 
 // RunSuiteForked runs the full suite under the warm+measure protocol: the

@@ -267,7 +267,7 @@ func (r *RemoteBacking) do(p *sim.Proc, calls []*call) error {
 // (the reply wire) — net RTT versus remote disk service, exactly.
 func (r *RemoteBacking) ReadPage(p *sim.Proc, va vm.VA, buf []byte, sp *obs.Span) error {
 	sp.BeginHop("net.out")
-	c := &call{req: &request{Client: r.client, Op: opRead, VPNs: []vm.VPN{vm.PageOf(va)}}}
+	c := &call{req: &request{Client: r.client, Op: opRead, Flow: sp.EnsureFlow(), VPNs: []vm.VPN{vm.PageOf(va)}}}
 	if err := r.do(p, []*call{c}); err != nil {
 		return err
 	}
@@ -284,13 +284,14 @@ func (r *RemoteBacking) ReadPage(p *sim.Proc, va vm.VA, buf []byte, sp *obs.Span
 // RPC is acknowledged. Returns the server-side disk transaction count.
 func (r *RemoteBacking) WritePages(p *sim.Proc, pages []stretchdrv.DirtyPage, sp *obs.Span) (int, error) {
 	sp.BeginHop("net.out")
+	flow := sp.EnsureFlow()
 	var calls []*call
 	for at := 0; at < len(pages); at += r.opt.MaxBatch {
 		end := at + r.opt.MaxBatch
 		if end > len(pages) {
 			end = len(pages)
 		}
-		req := &request{Client: r.client, Op: opWrite}
+		req := &request{Client: r.client, Op: opWrite, Flow: flow}
 		for _, pg := range pages[at:end] {
 			req.VPNs = append(req.VPNs, vm.PageOf(pg.VA))
 			req.Data = append(req.Data, pg.Data...)

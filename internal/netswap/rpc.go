@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"nemesis/internal/obs"
 	"nemesis/internal/sim"
 	"nemesis/internal/vm"
 )
@@ -34,8 +35,18 @@ type request struct {
 	ID     uint64
 	Client string
 	Op     op
-	VPNs   []vm.VPN
-	Data   []byte
+	// Flow is the originating fault span's cross-machine flow ID (zero when
+	// the client fault is untraced). The server echoes it into its own
+	// service span, so a merged cluster trace can link the two sides.
+	Flow uint64
+	VPNs []vm.VPN
+	Data []byte
+
+	// ssp is the server-side service span, attached by Server.handle when
+	// the server has a registry. It never crosses the wire: each delivered
+	// attempt is its own copy of the request, so a retransmitted RPC opens
+	// its own span — the server honestly does the work twice.
+	ssp *obs.Span
 }
 
 // reply is the server's answer. ServiceStart/ServiceEnd bracket the remote
@@ -44,6 +55,7 @@ type request struct {
 type reply struct {
 	ID     uint64
 	Client string
+	Flow   uint64 // echoed from the request
 	Err    string // "" = ok; definitive server-side failure otherwise
 	Data   []byte // read payload
 	Txns   int    // disk transactions the server merged the batch into

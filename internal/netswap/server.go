@@ -6,6 +6,7 @@ import (
 
 	"nemesis/internal/atropos"
 	"nemesis/internal/disk"
+	"nemesis/internal/obs"
 	"nemesis/internal/sfs"
 	"nemesis/internal/sim"
 	"nemesis/internal/stretchdrv"
@@ -80,6 +81,12 @@ type Server struct {
 	procs   []*sim.Proc
 	reply   func(*reply) // installed by the Fabric
 
+	// obs, when set via SetObs, is the server machine's own registry: every
+	// delivered RPC opens a "service" span there (hops queue → load/store)
+	// carrying the client's flow ID, which is what a merged cluster trace
+	// draws the cross-machine arrow to. Nil (the default) costs nothing.
+	obs *obs.Registry
+
 	Stats ServerStats
 }
 
@@ -114,6 +121,13 @@ func NewServer(s *sim.Simulator, cfg ServerConfig) (*Server, error) {
 	return srv, nil
 }
 
+// SetObs installs the server machine's telemetry registry. Call before
+// traffic arrives; a nil registry (the default) keeps service unobserved.
+func (srv *Server) SetObs(reg *obs.Registry) { srv.obs = reg }
+
+// Obs returns the server machine's registry (nil unless SetObs was called).
+func (srv *Server) Obs() *obs.Registry { return srv.obs }
+
 // FreeBloks returns the unallocated store capacity in bloks (pages).
 func (srv *Server) FreeBloks() int64 { return srv.blok.Free() }
 
@@ -130,8 +144,14 @@ func (srv *Server) Stop() {
 }
 
 // handle enqueues one arrived request. Called from scheduler context (a link
-// delivery event).
+// delivery event). With a registry installed this is where the server-side
+// span opens: the "queue" hop runs from arrival to worker pickup.
 func (srv *Server) handle(req *request) {
+	if srv.obs != nil {
+		req.ssp = srv.obs.StartSpan(req.Client, "service")
+		req.ssp.SetFlow(req.Flow)
+		req.ssp.BeginHop("queue")
+	}
 	srv.queue = append(srv.queue, req)
 	srv.work.Signal()
 }
@@ -145,7 +165,15 @@ func (srv *Server) serve(p *sim.Proc) {
 		}
 		req := srv.queue[0]
 		srv.queue = srv.queue[1:]
+		req.ssp.SetThread(p.Name())
 		rep := srv.service(p, req)
+		if req.ssp != nil {
+			outcome := "ok"
+			if rep.Err != "" {
+				outcome = "error"
+			}
+			req.ssp.Finish(outcome)
+		}
 		if srv.reply != nil {
 			srv.reply(rep)
 		}
@@ -164,7 +192,7 @@ func (srv *Server) pages(client string) map[vm.VPN]int64 {
 
 // service runs one RPC against the store, blocking p on the server's USD.
 func (srv *Server) service(p *sim.Proc, req *request) *reply {
-	rep := &reply{ID: req.ID, Client: req.Client}
+	rep := &reply{ID: req.ID, Client: req.Client, Flow: req.Flow}
 	switch req.Op {
 	case opRead:
 		srv.Stats.Reads++
@@ -180,6 +208,7 @@ func (srv *Server) service(p *sim.Proc, req *request) *reply {
 			return rep
 		}
 		buf := make([]byte, vm.PageSize)
+		req.ssp.BeginHop("load")
 		rep.ServiceStart = srv.s.Now()
 		if err := srv.store.Read(p, srv.blok.BlockOffset(blok), int(srv.blok.BlokBlocks()), buf); err != nil {
 			srv.Stats.Errors++
@@ -200,6 +229,7 @@ func (srv *Server) service(p *sim.Proc, req *request) *reply {
 			rep.Err = "malformed write"
 			return rep
 		}
+		req.ssp.BeginHop("store")
 		rep.ServiceStart = srv.s.Now()
 		txns, err := srv.writeBatch(p, req)
 		rep.ServiceEnd = srv.s.Now()

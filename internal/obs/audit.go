@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"nemesis/internal/sim"
 )
@@ -40,47 +41,88 @@ const (
 	AuditNetswapRestore AuditKind = "net.restore"
 )
 
-// AuditEvent is one entry of the audit log.
+// AuditEvent is one entry of the audit log. Machine is empty on a live
+// registry; MergeTimelines stamps it when per-machine dumps are folded into
+// one cluster trace.
 type AuditEvent struct {
-	At     sim.Time  `json:"at_ns"`
-	Kind   AuditKind `json:"kind"`
-	Domain string    `json:"domain,omitempty"` // primary domain
-	Other  string    `json:"other,omitempty"`  // counterpart, if any
-	Frames int       `json:"frames,omitempty"` // frame count, if relevant
-	Detail string    `json:"detail,omitempty"`
+	At      sim.Time  `json:"at_ns"`
+	Kind    AuditKind `json:"kind"`
+	Machine string    `json:"machine,omitempty"`
+	Domain  string    `json:"domain,omitempty"` // primary domain
+	Other   string    `json:"other,omitempty"`  // counterpart, if any
+	Frames  int       `json:"frames,omitempty"` // frame count, if relevant
+	Detail  string    `json:"detail,omitempty"`
 }
 
-// Audit appends an event stamped with the current simulated time. Safe on a
-// nil registry (telemetry disabled): the event is discarded.
+// Audit records an event stamped with the current simulated time. The log is
+// a ring of SetAuditCap entries: once full, the oldest event is overwritten
+// and the obs.audit_evicted counter (lazy, like spans_evicted) increments.
+// Safe on a nil registry (telemetry disabled): the event is discarded.
 func (r *Registry) Audit(kind AuditKind, domain, other string, frames int, detail string) {
 	if r == nil {
 		return
 	}
-	r.audit = append(r.audit, AuditEvent{
+	ev := AuditEvent{
 		At:     r.now(),
 		Kind:   kind,
 		Domain: domain,
 		Other:  other,
 		Frames: frames,
 		Detail: detail,
-	})
+	}
+	r.auditTotal++
+	if len(r.audit) < r.auditCap {
+		r.audit = append(r.audit, ev)
+		return
+	}
+	r.audit[r.auditHead] = ev
+	r.auditHead = (r.auditHead + 1) % r.auditCap
+	if r.cAuditEvicted == nil {
+		r.cAuditEvicted = r.Counter("obs", "audit_evicted", "")
+	}
+	r.cAuditEvicted.Inc()
 }
 
-// AuditLog returns all audit events recorded so far, oldest first.
+// AuditLog returns the retained audit events, oldest first. Until the ring
+// first wraps this is every event ever recorded.
 func (r *Registry) AuditLog() []AuditEvent {
 	if r == nil {
 		return nil
 	}
-	return r.audit
+	if r.auditHead == 0 {
+		return r.audit
+	}
+	out := make([]AuditEvent, 0, len(r.audit))
+	out = append(out, r.audit[r.auditHead:]...)
+	out = append(out, r.audit[:r.auditHead]...)
+	return out
 }
 
-// AuditByKind returns the recorded events of one kind, oldest first.
+// AuditTotal returns the number of events ever recorded (including any the
+// ring has dropped).
+func (r *Registry) AuditTotal() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.auditTotal
+}
+
+// AuditEvicted returns how many audit events the ring has overwritten (zero
+// until it first wraps).
+func (r *Registry) AuditEvicted() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.cAuditEvicted.Value()
+}
+
+// AuditByKind returns the retained events of one kind, oldest first.
 func (r *Registry) AuditByKind(kind AuditKind) []AuditEvent {
 	if r == nil {
 		return nil
 	}
 	var out []AuditEvent
-	for _, e := range r.audit {
+	for _, e := range r.AuditLog() {
 		if e.Kind == kind {
 			out = append(out, e)
 		}
@@ -96,14 +138,27 @@ func (r *Registry) WriteAuditTSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "at_ms\tkind\tdomain\tother\tframes\tdetail"); err != nil {
 		return err
 	}
-	for _, e := range r.audit {
+	for _, e := range r.AuditLog() {
 		if _, err := fmt.Fprintf(w, "%.3f\t%s\t%s\t%s\t%d\t%s\n",
-			e.At.Milliseconds(), e.Kind, e.Domain, e.Other, e.Frames, e.Detail); err != nil {
+			e.At.Milliseconds(), e.Kind, escapeTSV(e.Domain), escapeTSV(e.Other), e.Frames, escapeTSV(e.Detail)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
+
+// escapeTSV backslash-escapes the characters that would corrupt a
+// tab-separated export: literal tabs, newlines, carriage returns and the
+// escape character itself. Domain names and audit detail strings are caller
+// data, so exported artifacts must survive any of them.
+func escapeTSV(s string) string {
+	if !strings.ContainsAny(s, "\t\n\r\\") {
+		return s
+	}
+	return tsvReplacer.Replace(s)
+}
+
+var tsvReplacer = strings.NewReplacer("\\", `\\`, "\t", `\t`, "\n", `\n`, "\r", `\r`)
 
 // WriteAuditJSON renders the audit log as an indented JSON array, oldest
 // first — the io.Writer form nemesis-serve's /audit endpoint streams. Safe
@@ -111,7 +166,7 @@ func (r *Registry) WriteAuditTSV(w io.Writer) error {
 func (r *Registry) WriteAuditJSON(w io.Writer) error {
 	events := []AuditEvent{}
 	if r != nil && r.audit != nil {
-		events = r.audit
+		events = r.AuditLog()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAuditRingEviction pins the bounded audit log: with a cap of 3, five
+// events keep the newest three in oldest-first order, the total keeps
+// counting, and the obs.audit_evicted counter records exactly the overwrites
+// — surfaced both by the accessor and in the rollup text WriteTopTable
+// embeds.
+func TestAuditRingEviction(t *testing.T) {
+	r, fc := newTestRegistry()
+	r.SetAuditCap(3)
+	for i := 1; i <= 5; i++ {
+		fc.advance(time.Millisecond)
+		r.Audit(AuditRevokeBegin, fmt.Sprintf("d%d", i), "", i, fmt.Sprintf("ev%d", i))
+	}
+
+	log := r.AuditLog()
+	if len(log) != 3 {
+		t.Fatalf("retained %d events, want cap 3", len(log))
+	}
+	for i, want := range []string{"ev3", "ev4", "ev5"} {
+		if log[i].Detail != want {
+			t.Fatalf("slot %d = %q, want %q (oldest-first after wrap): %+v", i, log[i].Detail, want, log)
+		}
+	}
+	if got := r.AuditTotal(); got != 5 {
+		t.Fatalf("AuditTotal = %d, want 5", got)
+	}
+	if got := r.AuditEvicted(); got != 2 {
+		t.Fatalf("AuditEvicted = %d, want 2", got)
+	}
+	if got := r.LookupCounter("obs", "audit_evicted", "").Value(); got != 2 {
+		t.Fatalf("obs.audit_evicted counter = %d, want 2", got)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Summarize(5).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "5 audit events (2 evicted)") {
+		t.Fatalf("rollup does not surface the eviction count:\n%s", buf.String())
+	}
+}
+
+// TestAuditCapMinimumOne keeps a degenerate ring functional: cap 1 retains
+// exactly the latest event.
+func TestAuditCapMinimumOne(t *testing.T) {
+	r, _ := newTestRegistry()
+	r.SetAuditCap(1)
+	r.Audit(AuditRevokeBegin, "a", "", 0, "first")
+	r.Audit(AuditRevokeComplete, "b", "", 0, "second")
+	log := r.AuditLog()
+	if len(log) != 1 || log[0].Detail != "second" {
+		t.Fatalf("cap-1 ring retained %+v", log)
+	}
+	if r.AuditEvicted() != 1 || r.AuditTotal() != 2 {
+		t.Fatalf("evicted=%d total=%d", r.AuditEvicted(), r.AuditTotal())
+	}
+}
+
+// tsvColumns splits a rendered TSV line; escaped tabs inside fields must not
+// count as separators.
+func tsvColumns(line string) int { return len(strings.Split(line, "\t")) }
+
+// TestAuditTSVEscaping pins the export escaping: domain and detail strings
+// containing tabs, newlines, carriage returns or backslashes — all caller
+// data — must come out backslash-escaped so every row keeps its column
+// count and row count.
+func TestAuditTSVEscaping(t *testing.T) {
+	r, _ := newTestRegistry()
+	r.Audit(AuditRevokeBegin, "dom\twith\ttabs", "other\nline", 4, "detail \\ with\r\nall of it")
+	r.Audit(AuditRevokeComplete, "plain", "", 4, "clean")
+
+	var buf bytes.Buffer
+	if err := r.WriteAuditTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("TSV has %d lines, want header + 2 rows:\n%s", len(lines), out)
+	}
+	for i, line := range lines {
+		if got := tsvColumns(line); got != 6 {
+			t.Fatalf("line %d has %d columns, want 6: %q", i, got, line)
+		}
+	}
+	for _, want := range []string{`dom\twith\ttabs`, `other\nline`, `detail \\ with\r\nall of it`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("TSV missing escaped form %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFlagsTSVEscaping does the same for the crosstalk-flag export's victim
+// and suspect names.
+func TestFlagsTSVEscaping(t *testing.T) {
+	r, _ := newTestRegistry()
+	r.addFlag(Flag{Victim: "vic\ttim", Suspect: "sus\npect", Window: time.Second})
+
+	var buf bytes.Buffer
+	if err := r.WriteFlagsTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("TSV has %d lines, want header + 1 row:\n%s", len(lines), out)
+	}
+	wantCols := tsvColumns(lines[0])
+	if got := tsvColumns(lines[1]); got != wantCols {
+		t.Fatalf("row has %d columns, header has %d: %q", got, wantCols, lines[1])
+	}
+	for _, want := range []string{`vic\ttim`, `sus\npect`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("TSV missing escaped form %q:\n%s", want, out)
+		}
+	}
+}

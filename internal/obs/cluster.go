@@ -1,0 +1,346 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// MachineTimeline names one machine's timeline dump for merging.
+type MachineTimeline struct {
+	Machine string
+	Dump    *TimelineDump
+}
+
+// MergeTimelines folds per-machine dumps into one cluster dump: every
+// track, span and audit event is stamped with its machine lane, tracks keep
+// their own sample instants (machines sample on their own clocks), and
+// NowNs becomes the latest machine clock. Merge order is the lane order of
+// the rendered trace, so callers pass machines in a canonical order.
+func MergeTimelines(parts []MachineTimeline) *TimelineDump {
+	m := &TimelineDump{}
+	for _, p := range parts {
+		m.Machines = append(m.Machines, p.Machine)
+		d := p.Dump
+		if d == nil {
+			continue
+		}
+		if d.NowNs > m.NowNs {
+			m.NowNs = d.NowNs
+		}
+		for _, t := range d.Tracks {
+			t.Machine = p.Machine
+			if t.TimesNs == nil {
+				t.TimesNs = d.Times
+			}
+			m.Tracks = append(m.Tracks, t)
+		}
+		for _, s := range d.Spans {
+			s.Machine = p.Machine
+			m.Spans = append(m.Spans, s)
+		}
+		for _, e := range d.Audit {
+			e.Machine = p.Machine
+			m.Audit = append(m.Audit, e)
+		}
+	}
+	return m
+}
+
+// clusterFlow records, per flow ID, where the client fault span's net.out
+// hop starts and which server-side service spans answered it.
+type clusterFlow struct {
+	clientSpan int   // index into d.Spans, -1 until seen
+	outStartNs int64 // start of the client's net.out hop
+	servers    []int // indices of service spans, in dump order
+}
+
+// WriteClusterTrace renders a merged cluster dump as Chrome trace-event
+// JSON: one Perfetto process per machine lane, client fault spans on
+// per-domain thread lanes, server service spans on per-worker lanes, and
+// flow arrows (s/t/f events bound to enclosing slices) linking each
+// client's net.out hop to the server-side service slices that answered it.
+func (d *TimelineDump) WriteClusterTrace(w io.Writer) error {
+	// Process ids: declared machine lanes first, then any machine that
+	// appears only in events (defensive; MergeTimelines declares them all).
+	pids := map[string]int{}
+	var order []string
+	pidOf := func(machine string) int {
+		if pid, ok := pids[machine]; ok {
+			return pid
+		}
+		pid := len(pids) + 1
+		pids[machine] = pid
+		order = append(order, machine)
+		return pid
+	}
+	for _, m := range d.Machines {
+		pidOf(m)
+	}
+	for _, t := range d.Tracks {
+		pidOf(t.Machine)
+	}
+	for _, s := range d.Spans {
+		pidOf(s.Machine)
+	}
+	for _, e := range d.Audit {
+		pidOf(e.Machine)
+	}
+
+	// Thread lanes within each machine: tid 1 is the events lane; span
+	// lanes follow in first-appearance order. Server-side service spans
+	// lane by worker thread (queue/store/load phases per swap worker);
+	// client fault spans lane by domain.
+	type threadKey struct {
+		pid int
+		nm  string
+	}
+	laneOf := func(s SpanDump) string {
+		if s.Class == "service" && s.Thread != "" {
+			return s.Thread
+		}
+		if s.Domain == "" {
+			return "faults"
+		}
+		return s.Domain
+	}
+	tids := map[threadKey]int{}
+	nextTid := map[int]int{}
+	tidOf := func(pid int, name string) int {
+		k := threadKey{pid, name}
+		if tid, ok := tids[k]; ok {
+			return tid
+		}
+		nextTid[pid]++
+		tid := nextTid[pid] + 1 // events lane holds tid 1
+		tids[k] = tid
+		return tid
+	}
+
+	// Flow table: a flow is drawable once both sides appear — the client
+	// span carrying the ID with a net.out hop, and at least one service
+	// span echoing it.
+	flows := map[uint64]*clusterFlow{}
+	for i, s := range d.Spans {
+		if s.Flow == 0 {
+			continue
+		}
+		f := flows[s.Flow]
+		if f == nil {
+			f = &clusterFlow{clientSpan: -1}
+			flows[s.Flow] = f
+		}
+		if s.Class == "service" {
+			f.servers = append(f.servers, i)
+			continue
+		}
+		for _, h := range s.Hops {
+			if h.Name == "net.out" && f.clientSpan < 0 {
+				f.clientSpan = i
+				f.outStartNs = h.StartNs
+			}
+		}
+	}
+	linked := func(flow uint64) *clusterFlow {
+		f := flows[flow]
+		if f == nil || f.clientSpan < 0 || len(f.servers) == 0 {
+			return nil
+		}
+		return f
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev traceEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+
+	for _, m := range order {
+		pid := pids[m]
+		name := m
+		if name == "" {
+			name = "cluster"
+		}
+		if err := emit(traceEvent{Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name}}); err != nil {
+			return err
+		}
+		if err := emit(traceEvent{Name: "process_sort_index", Ph: "M", Pid: pid,
+			Args: map[string]any{"sort_index": pid}}); err != nil {
+			return err
+		}
+	}
+
+	// Counter tracks, grouped per (machine, domain, group) against each
+	// track's own sample instants.
+	type clusterCounterKey struct {
+		machine string
+		domain  string
+		name    string
+	}
+	var ckeys []clusterCounterKey
+	groups := map[clusterCounterKey][]TrackDump{}
+	for _, t := range d.Tracks {
+		name := t.Group
+		if name == "" {
+			name = t.Name
+		}
+		if t.Domain != "" {
+			name = t.Domain + "/" + name
+		}
+		k := clusterCounterKey{t.Machine, t.Domain, name}
+		if _, ok := groups[k]; !ok {
+			ckeys = append(ckeys, k)
+		}
+		groups[k] = append(groups[k], t)
+	}
+	for _, k := range ckeys {
+		tracks := groups[k]
+		pid := pids[k.machine]
+		times := tracks[0].TimesNs
+		for i, at := range times {
+			args := make(map[string]any, len(tracks))
+			for _, t := range tracks {
+				if i < len(t.Values) {
+					args[t.Name] = t.Values[i]
+				}
+			}
+			if err := emit(traceEvent{Name: k.name, Ph: "C", Ts: usec(at), Pid: pid, Args: args}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Spans with their hop slices; flow events ride along, anchored to the
+	// slice they bind to, so the emission order is a deterministic function
+	// of the dump alone.
+	for i, s := range d.Spans {
+		pid := pids[s.Machine]
+		tid := tidOf(pid, laneOf(s))
+		name := "fault:" + s.Class
+		if s.Class == "service" {
+			name = "service"
+		}
+		args := map[string]any{"outcome": s.Outcome, "thread": s.Thread}
+		if s.Class == "service" {
+			args["client"] = s.Domain
+		}
+		if s.Flow != 0 {
+			args["flow"] = s.Flow
+		}
+		dur := usec(s.EndNs - s.StartNs)
+		if err := emit(traceEvent{
+			Name: name, Ph: "X", Ts: usec(s.StartNs), Dur: &dur,
+			Pid: pid, Tid: tid, Cat: "fault",
+			Args: args,
+		}); err != nil {
+			return err
+		}
+		for _, h := range s.Hops {
+			hdur := usec(h.EndNs - h.StartNs)
+			if err := emit(traceEvent{
+				Name: h.Name, Ph: "X", Ts: usec(h.StartNs), Dur: &hdur,
+				Pid: pid, Tid: tid, Cat: "hop",
+			}); err != nil {
+				return err
+			}
+		}
+		f := linked(s.Flow)
+		if f == nil {
+			continue
+		}
+		id := s.Flow
+		if f.clientSpan == i {
+			// Flow starts inside the client's net.out hop slice.
+			if err := emit(traceEvent{
+				Name: "netswap", Ph: "s", Ts: usec(f.outStartNs),
+				Pid: pid, Tid: tid, Cat: "flow", ID: &id,
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		// Service spans: steps through all but the last (a batched write is
+		// one client hop answered by several server RPCs), finish on the
+		// last, bound to the enclosing service slice.
+		ph, bp := "t", ""
+		if i == f.servers[len(f.servers)-1] {
+			ph, bp = "f", "e"
+		}
+		if err := emit(traceEvent{
+			Name: "netswap", Ph: ph, Ts: usec(s.StartNs),
+			Pid: pid, Tid: tid, Cat: "flow", ID: &id, Bp: bp,
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Audit instants on the owning machine's events lane.
+	for _, e := range d.Audit {
+		pid := pids[e.Machine]
+		args := map[string]any{}
+		if e.Domain != "" {
+			args["domain"] = e.Domain
+		}
+		if e.Other != "" {
+			args["other"] = e.Other
+		}
+		if e.Frames != 0 {
+			args["frames"] = e.Frames
+		}
+		if e.Detail != "" {
+			args["detail"] = e.Detail
+		}
+		if err := emit(traceEvent{
+			Name: string(e.Kind), Ph: "i", Ts: usec(e.At), Pid: pid, Tid: 1,
+			S: "p", Cat: "audit", Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Thread-name metadata last: tids are known only after span emission.
+	for _, m := range order {
+		pid := pids[m]
+		if err := emit(traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: 1,
+			Args: map[string]any{"name": "events"}}); err != nil {
+			return err
+		}
+	}
+	named := map[threadKey]bool{}
+	for _, s := range d.Spans {
+		pid := pids[s.Machine]
+		lane := laneOf(s)
+		k := threadKey{pid, lane}
+		if named[k] {
+			continue
+		}
+		named[k] = true
+		if err := emit(traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tids[k],
+			Args: map[string]any{"name": lane}}); err != nil {
+			return err
+		}
+	}
+
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -114,7 +114,7 @@ func (r *Registry) WriteFlagsTSV(w io.Writer) error {
 	}
 	for _, f := range r.flags {
 		if _, err := fmt.Fprintf(w, "%.3f\t%.1f\t%s\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%d\n",
-			f.At.Seconds(), float64(f.Window)/1e6, f.Victim, f.Suspect,
+			f.At.Seconds(), float64(f.Window)/1e6, escapeTSV(f.Victim), escapeTSV(f.Suspect),
 			f.VictimRate, f.VictimBaseline, f.SuspectRate, f.SuspectBaseline, f.FreeFrames); err != nil {
 			return err
 		}

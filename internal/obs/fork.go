@@ -23,21 +23,26 @@ func (r *Registry) Fork(now Clock) (*Registry, error) {
 		return nil, nil
 	}
 	nr := &Registry{
-		now:       now,
-		counters:  make(map[Key]*Counter, len(r.counters)),
-		gauges:    make(map[Key]*Gauge, len(r.gauges)),
-		hists:     make(map[Key]*Histogram, len(r.hists)),
-		corder:    append([]Key(nil), r.corder...),
-		gorder:    append([]Key(nil), r.gorder...),
-		horder:    append([]Key(nil), r.horder...),
-		hopHists:  make(map[hopKey]*Histogram, len(r.hopHists)),
-		hopOrder:  append([]hopKey(nil), r.hopOrder...),
-		spanStats: make(map[spanKey]*spanStats, len(r.spanStats)),
-		spanCap:   r.spanCap,
-		spanHead:  r.spanHead,
-		spanTotal: r.spanTotal,
-		flags:     append([]Flag(nil), r.flags...),
-		audit:     append([]AuditEvent(nil), r.audit...),
+		now:        now,
+		counters:   make(map[Key]*Counter, len(r.counters)),
+		gauges:     make(map[Key]*Gauge, len(r.gauges)),
+		hists:      make(map[Key]*Histogram, len(r.hists)),
+		corder:     append([]Key(nil), r.corder...),
+		gorder:     append([]Key(nil), r.gorder...),
+		horder:     append([]Key(nil), r.horder...),
+		hopHists:   make(map[hopKey]*Histogram, len(r.hopHists)),
+		hopOrder:   append([]hopKey(nil), r.hopOrder...),
+		spanStats:  make(map[spanKey]*spanStats, len(r.spanStats)),
+		spanCap:    r.spanCap,
+		spanHead:   r.spanHead,
+		spanTotal:  r.spanTotal,
+		flowBase:   r.flowBase,
+		flowSeq:    r.flowSeq,
+		flags:      append([]Flag(nil), r.flags...),
+		audit:      append([]AuditEvent(nil), r.audit...),
+		auditCap:   r.auditCap,
+		auditHead:  r.auditHead,
+		auditTotal: r.auditTotal,
 	}
 	for k, c := range r.counters {
 		nr.counters[k] = &Counter{r: nr, v: c.v, at: c.at}
@@ -81,6 +86,9 @@ func (r *Registry) Fork(now Clock) (*Registry, error) {
 	if r.cEvicted != nil {
 		nr.cEvicted = nr.counters[Key{"obs", "spans_evicted", ""}]
 	}
+	if r.cAuditEvicted != nil {
+		nr.cAuditEvicted = nr.counters[Key{"obs", "audit_evicted", ""}]
+	}
 	nr.spans = make([]*Span, len(r.spans))
 	for i, s := range r.spans {
 		ns := &Span{
@@ -89,6 +97,7 @@ func (r *Registry) Fork(now Clock) (*Registry, error) {
 			Class:   s.Class,
 			Thread:  s.Thread,
 			Outcome: s.Outcome,
+			Flow:    s.Flow,
 			Start:   s.Start,
 			End:     s.End,
 			hops:    append([]Hop(nil), s.hops...),

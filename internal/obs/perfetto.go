@@ -14,29 +14,42 @@ import (
 // dumps (one JSON object per line) and what cmd/nemesis-timeline converts to
 // a Perfetto-loadable trace; WriteTrace renders it directly.
 type TimelineDump struct {
-	NowNs  int64        `json:"now_ns"`
-	Times  []int64      `json:"times_ns"` // shared sample instants
-	Tracks []TrackDump  `json:"tracks"`
-	Spans  []SpanDump   `json:"spans"`
-	Audit  []AuditEvent `json:"audit"`
+	NowNs int64   `json:"now_ns"`
+	Times []int64 `json:"times_ns"` // shared sample instants
+	// Machines lists the per-machine lanes of a merged cluster dump, in
+	// merge order; empty for a single-machine dump. When set, WriteTrace
+	// renders one Perfetto process per machine with flow arrows linking
+	// client net.out hops to server-side service slices.
+	Machines []string     `json:"machines,omitempty"`
+	Tracks   []TrackDump  `json:"tracks"`
+	Spans    []SpanDump   `json:"spans"`
+	Audit    []AuditEvent `json:"audit"`
 }
 
-// TrackDump is one recorded series, values aligned with TimelineDump.Times.
+// TrackDump is one recorded series, values aligned with TimelineDump.Times —
+// or with the track's own TimesNs when set (merged dumps, where machines
+// sample on their own clocks).
 type TrackDump struct {
-	Group  string    `json:"group,omitempty"`
-	Name   string    `json:"name"`
-	Domain string    `json:"domain,omitempty"`
-	Unit   string    `json:"unit,omitempty"`
-	Rate   bool      `json:"rate,omitempty"`
-	Values []float64 `json:"values"`
+	Group   string    `json:"group,omitempty"`
+	Name    string    `json:"name"`
+	Machine string    `json:"machine,omitempty"`
+	Domain  string    `json:"domain,omitempty"`
+	Unit    string    `json:"unit,omitempty"`
+	Rate    bool      `json:"rate,omitempty"`
+	TimesNs []int64   `json:"track_times_ns,omitempty"`
+	Values  []float64 `json:"values"`
 }
 
-// SpanDump is one finished fault span.
+// SpanDump is one finished fault span. Machine is stamped by MergeTimelines;
+// Flow carries the cross-machine flow ID linking a client fault span to the
+// remote server's service span.
 type SpanDump struct {
+	Machine string    `json:"machine,omitempty"`
 	Domain  string    `json:"domain"`
 	Class   string    `json:"class"`
 	Thread  string    `json:"thread,omitempty"`
 	Outcome string    `json:"outcome"`
+	Flow    uint64    `json:"flow,omitempty"`
 	StartNs int64     `json:"start_ns"`
 	EndNs   int64     `json:"end_ns"`
 	Hops    []HopDump `json:"hops"`
@@ -85,6 +98,7 @@ func (tl Timeline) Dump() *TimelineDump {
 			Class:   s.Class,
 			Thread:  s.Thread,
 			Outcome: s.Outcome,
+			Flow:    s.Flow,
 			StartNs: int64(s.Start),
 			EndNs:   int64(s.End),
 		}
@@ -118,6 +132,8 @@ type traceEvent struct {
 	Tid  int            `json:"tid"`
 	Cat  string         `json:"cat,omitempty"`
 	S    string         `json:"s,omitempty"`
+	ID   *uint64        `json:"id,omitempty"` // flow-event binding ID
+	Bp   string         `json:"bp,omitempty"` // flow binding point ("e": enclosing slice)
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -133,6 +149,10 @@ type counterKey struct {
 // thread's lane, recorder series as counter tracks (grouped tracks share one
 // multi-series counter), and audit events as instants.
 func (d *TimelineDump) WriteTrace(w io.Writer) error {
+	// Merged cluster dumps render machine process lanes with flow arrows.
+	if len(d.Machines) > 0 {
+		return d.WriteClusterTrace(w)
+	}
 	// Process ids: "system" is pid 1; domains follow in first-appearance
 	// order across tracks, spans and audit events.
 	pids := map[string]int{"": 1}
@@ -344,7 +364,8 @@ type jsonlLine struct {
 	Type string `json:"type"`
 
 	// meta
-	NowNs int64 `json:"now_ns,omitempty"`
+	NowNs    int64    `json:"now_ns,omitempty"`
+	Machines []string `json:"machines,omitempty"`
 	// samples
 	TimesNs []int64 `json:"times_ns,omitempty"`
 	// track
@@ -361,7 +382,7 @@ type jsonlLine struct {
 func (d *TimelineDump) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	if err := enc.Encode(jsonlLine{Type: "meta", NowNs: d.NowNs}); err != nil {
+	if err := enc.Encode(jsonlLine{Type: "meta", NowNs: d.NowNs, Machines: d.Machines}); err != nil {
 		return err
 	}
 	if err := enc.Encode(jsonlLine{Type: "samples", TimesNs: d.Times}); err != nil {
@@ -399,6 +420,7 @@ func ParseTimelineJSONL(r io.Reader) (*TimelineDump, error) {
 		switch ln.Type {
 		case "meta":
 			d.NowNs = ln.NowNs
+			d.Machines = ln.Machines
 		case "samples":
 			d.Times = ln.TimesNs
 		case "track":
@@ -438,7 +460,8 @@ func ValidateTrace(r io.Reader) error {
 	if len(doc.TraceEvents) == 0 {
 		return fmt.Errorf("trace: traceEvents missing or empty")
 	}
-	validPh := map[string]bool{"M": true, "X": true, "C": true, "i": true, "I": true, "B": true, "E": true}
+	validPh := map[string]bool{"M": true, "X": true, "C": true, "i": true, "I": true, "B": true, "E": true,
+		"s": true, "t": true, "f": true}
 	for i, ev := range doc.TraceEvents {
 		if _, ok := ev["name"].(string); !ok {
 			return fmt.Errorf("trace: event %d has no name", i)
@@ -459,6 +482,11 @@ func ValidateTrace(r io.Reader) error {
 		if ph == "X" {
 			if _, ok := ev["dur"].(float64); !ok {
 				return fmt.Errorf("trace: event %d (X) has no dur", i)
+			}
+		}
+		if ph == "s" || ph == "t" || ph == "f" {
+			if _, ok := ev["id"]; !ok {
+				return fmt.Errorf("trace: flow event %d (%s) has no id", i, ph)
 			}
 		}
 	}

@@ -42,6 +42,12 @@ func (k Key) String() string {
 // DefaultSpanCap bounds the ring of finished spans a registry retains.
 const DefaultSpanCap = 512
 
+// DefaultAuditCap bounds the audit-event ring. Generous: a paper-scale run
+// records tens of events, and even a 10k-domain cluster machine stays well
+// under it — but a pathological run can no longer grow the log without
+// bound. Evictions are counted in the obs.audit_evicted counter.
+const DefaultAuditCap = 65536
+
 // Registry holds all metrics, finished fault spans and crosstalk flags for
 // one simulated system. It must only be touched from simulator context (one
 // goroutine at a time), which the process model already guarantees.
@@ -73,8 +79,22 @@ type Registry struct {
 	// the first eviction so short runs export no empty series.
 	cEvicted *Counter
 
+	// flowBase offsets span flow IDs so registries of different machines
+	// in one merged cluster trace never alias; flowSeq is the last local
+	// sequence number handed out.
+	flowBase uint64
+	flowSeq  uint64
+
 	flags []Flag
-	audit []AuditEvent
+
+	// audit is a ring once auditCap is reached; auditHead is the next
+	// overwrite position, auditTotal the events ever recorded, and
+	// cAuditEvicted (lazy, like cEvicted) counts overwritten events.
+	audit         []AuditEvent
+	auditCap      int
+	auditHead     int
+	auditTotal    int64
+	cAuditEvicted *Counter
 
 	// attr is the sim-time attribution state machine, nil until
 	// EnableAttribution. When enabled, span lifecycle events drive it.
@@ -94,6 +114,7 @@ func NewRegistry(now Clock) *Registry {
 		hopHists:  make(map[hopKey]*Histogram),
 		spanStats: make(map[spanKey]*spanStats),
 		spanCap:   DefaultSpanCap,
+		auditCap:  DefaultAuditCap,
 	}
 }
 
@@ -104,6 +125,32 @@ func (r *Registry) SetSpanCap(n int) {
 		return
 	}
 	r.spanCap = n
+}
+
+// SetAuditCap resizes the audit-event ring (minimum 1). Must be called
+// before events are recorded.
+func (r *Registry) SetAuditCap(n int) {
+	if r == nil || n < 1 {
+		return
+	}
+	r.auditCap = n
+}
+
+// SetFlowBase offsets all subsequently assigned span flow IDs by base.
+// Cluster runs give each machine a disjoint base (machine index shifted
+// past any plausible per-machine span count) so merged traces never alias
+// two machines' flows.
+func (r *Registry) SetFlowBase(base uint64) {
+	if r == nil {
+		return
+	}
+	r.flowBase = base
+}
+
+// nextFlowID hands out the next machine-unique flow ID (never zero).
+func (r *Registry) nextFlowID() uint64 {
+	r.flowSeq++
+	return r.flowBase + r.flowSeq
 }
 
 // EnableAttribution switches on exact per-domain sim-time attribution
@@ -550,7 +597,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		Hops:      r.HopSummaries(),
 		Spans:     r.exportSpans(),
 		Crosstalk: r.flags,
-		Audit:     r.audit,
+		Audit:     r.AuditLog(),
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -32,6 +32,12 @@ type Span struct {
 	Thread  string
 	Outcome string // "fast", "worker", "handler", "fatal"
 
+	// Flow is the span's cross-machine flow ID (zero until EnsureFlow).
+	// Netswap stamps it on every request the span causes, and the remote
+	// server echoes it into its own service span, so merged cluster traces
+	// can draw an arrow from the client's net.out hop to the server slice.
+	Flow uint64
+
 	Start sim.Time
 	End   sim.Time
 
@@ -68,6 +74,28 @@ func (s *Span) SetThread(name string) {
 		return
 	}
 	s.Thread = name
+}
+
+// EnsureFlow returns the span's flow ID, assigning the registry's next one
+// on first use. Zero (and a no-op) on a nil span, so untraced fault paths
+// pay nothing.
+func (s *Span) EnsureFlow() uint64 {
+	if s == nil {
+		return 0
+	}
+	if s.Flow == 0 {
+		s.Flow = s.reg.nextFlowID()
+	}
+	return s.Flow
+}
+
+// SetFlow adopts a flow ID assigned elsewhere (the remote swap server
+// correlating its service span with the originating client fault).
+func (s *Span) SetFlow(id uint64) {
+	if s == nil {
+		return
+	}
+	s.Flow = id
 }
 
 // closeOpen closes the currently open hop at instant at (clamped so hops
@@ -341,6 +369,7 @@ type spanExport struct {
 	Class   string      `json:"class"`
 	Thread  string      `json:"thread,omitempty"`
 	Outcome string      `json:"outcome"`
+	Flow    uint64      `json:"flow,omitempty"`
 	StartMs float64     `json:"start_ms"`
 	EndMs   float64     `json:"end_ms"`
 	Hops    []hopExport `json:"hops"`
@@ -358,6 +387,7 @@ func (r *Registry) exportSpans() []spanExport {
 	for _, s := range spans {
 		se := spanExport{
 			Domain: s.Domain, Class: s.Class, Thread: s.Thread, Outcome: s.Outcome,
+			Flow:    s.Flow,
 			StartMs: s.Start.Milliseconds(), EndMs: s.End.Milliseconds(),
 		}
 		for _, h := range s.hops {

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"sync"
+	"time"
 
 	"nemesis/internal/experiments"
 )
@@ -46,6 +47,7 @@ type Job struct {
 	entry    *Entry
 	subs     map[chan Event]struct{}
 	cancel   context.CancelFunc
+	started  time.Time     // wall clock at queued → running, zero before
 	finished chan struct{} // closed on done/failed/canceled
 }
 
@@ -133,8 +135,17 @@ func (j *Job) start(cancel context.CancelFunc) bool {
 	}
 	j.state = JobRunning
 	j.cancel = cancel
+	j.started = time.Now()
 	j.notifyLocked()
 	return true
+}
+
+// Started returns the wall-clock instant the job began running (zero while
+// still queued). The /metrics plane derives cell-completion rates from it.
+func (j *Job) Started() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.started
 }
 
 // complete finishes the job with its result entry.

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// requestJob carries the job ID a handler resolved for the current request,
+// so the access log can key every line by job.
+type requestJob struct{ id string }
+
+type requestJobKey struct{}
+
+// noteJob records the job a handler touched for the access log; a no-op
+// when logging is disabled (the context then has no holder).
+func noteJob(r *http.Request, id string) {
+	if rj, ok := r.Context().Value(requestJobKey{}).(*requestJob); ok {
+		rj.id = id
+	}
+}
+
+// statusWriter captures the response status for the access log. It passes
+// Flush through — the SSE progress stream depends on it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withLogging wraps the API in structured request logging: one slog line
+// per request with method, path, status and duration, keyed by job ID
+// whenever the request resolved to one. Nil logger = no wrapping, no cost.
+func (s *Server) withLogging(h http.Handler) http.Handler {
+	logger := s.cfg.Logger
+	if logger == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rj := &requestJob{}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), requestJobKey{}, rj)))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"duration_ms", float64(time.Since(start).Microseconds()) / 1e3,
+		}
+		if rj.id != "" {
+			attrs = append(attrs, "job", rj.id)
+		}
+		logger.Info("request", attrs...)
+	})
+}
+
+// logJob emits one job lifecycle line (submit, run, finish) when logging is
+// enabled.
+func (s *Server) logJob(msg string, j *Job, extra ...any) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	attrs := append([]any{"job", j.ID, "key", j.Key, "kind", j.Spec.Kind}, extra...)
+	s.cfg.Logger.Info(msg, attrs...)
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"nemesis/internal/experiments"
+)
+
+// lockedBuf collects slog output written concurrently by request and worker
+// goroutines.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9.e+E-]+|NaN|[+-]Inf)$`)
+
+// parseProm checks the body is well-formed text exposition — every sample
+// line parses and belongs to a family announced by HELP + TYPE — and
+// returns the set of family names and the full sample lines.
+func parseProm(t *testing.T, body string) (families map[string]bool, samples []string) {
+	t.Helper()
+	families = map[string]bool{}
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			families[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			typed[f[2]] = true
+			if f[3] != "gauge" && f[3] != "counter" {
+				t.Errorf("bad TYPE %q", line)
+			}
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("unparseable sample line %q", line)
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		if !families[name] || !typed[name] {
+			t.Errorf("sample %q precedes or lacks its HELP/TYPE", line)
+		}
+		samples = append(samples, line)
+	}
+	return families, samples
+}
+
+// TestMetricsEndpoint runs one real job to completion and checks /metrics
+// serves parseable exposition covering the jobs, queue, cache and warm
+// families, and that the slog plane logged the request keyed by job ID.
+func TestMetricsEndpoint(t *testing.T) {
+	logs := &lockedBuf{}
+	s := New(Config{Workers: 1, Logger: slog.New(slog.NewTextHandler(logs, nil))})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	readBody(t, postSpec(t, ts, "/run", cheapSpec(3)))
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content-type = %q, want text/plain exposition", ct)
+	}
+	body := string(readBody(t, resp))
+	families, _ := parseProm(t, body)
+	for _, want := range []string{
+		"nemesis_jobs", "nemesis_queue_len", "nemesis_queue_capacity",
+		"nemesis_cache_entries", "nemesis_cache_hits_total", "nemesis_cache_misses_total",
+		"nemesis_warm_worlds", "nemesis_warm_hits_total", "nemesis_warm_misses_total",
+		"nemesis_runs_total", "nemesis_rejected_total", "nemesis_workers",
+	} {
+		if !families[want] {
+			t.Errorf("family %q missing from /metrics:\n%s", want, body)
+		}
+	}
+	for _, want := range []string{`nemesis_jobs{state="done"} 1`, "nemesis_runs_total 1"} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("missing sample %q in:\n%s", want, body)
+		}
+	}
+
+	got := logs.String()
+	for _, want := range []string{"msg=request", "path=/run", "job=j1", "msg=\"job running\"", "msg=\"job finished\""} {
+		if !strings.Contains(got, want) {
+			t.Errorf("log output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestMetricsLiveJob scrapes while a job is mid-sweep: the per-job cell
+// series must be present for live jobs and absent once terminal.
+func TestMetricsLiveJob(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	s := newServer(Config{Workers: 1}, func(ctx context.Context, spec experiments.Spec, workers int) (*experiments.Outcome, error) {
+		close(started)
+		<-release
+		return &experiments.Outcome{Result: &experiments.Result{Spec: spec}}, nil
+	})
+	defer s.Close()
+
+	j, _, err := s.Submit(cheapSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// The job is running; report mid-sweep progress the way the real runner
+	// does through its context callback.
+	j.progress(2, 5)
+
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	parseProm(t, body)
+	for _, want := range []string{
+		fmt.Sprintf("nemesis_job_cells_done{job=%q} 2", j.ID),
+		fmt.Sprintf("nemesis_job_cells_total{job=%q} 5", j.ID),
+		`nemesis_jobs{state="running"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+
+	close(release)
+	<-j.Finished()
+	buf.Reset()
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "nemesis_job_cells_done{") {
+		t.Errorf("terminal job still exports cell series:\n%s", buf.String())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -38,6 +39,10 @@ type Config struct {
 	// disables). Residency only affects latency: pooled and unpooled
 	// answers are byte-identical.
 	WarmWorlds int
+	// Logger receives structured request and job lifecycle logs, every
+	// line keyed by job ID once a request resolves to one. Nil (the
+	// default) disables logging entirely.
+	Logger *slog.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -214,6 +219,8 @@ func (s *Server) runJob(j *Job) {
 	}
 	ctx = sweep.WithProgress(ctx, j.progress)
 	s.runs.Add(1)
+	s.logJob("job running", j)
+	began := time.Now()
 	var out *experiments.Outcome
 	var err error
 	if key, poolable := warmPrefixKey(j.Spec); poolable && s.warm != nil {
@@ -230,6 +237,8 @@ func (s *Server) runJob(j *Job) {
 		default:
 			j.fail(err.Error())
 		}
+		s.logJob("job finished", j, "state", j.Snapshot().State,
+			"duration_ms", float64(time.Since(began).Microseconds())/1e3, "error", err.Error())
 		return
 	}
 	body, err := experiments.EncodeResult(out.Result)
@@ -240,6 +249,8 @@ func (s *Server) runJob(j *Job) {
 	e := &Entry{Key: j.Key, Body: body, Trace: out.Trace, Audit: out.Audit}
 	s.cache.Put(e)
 	j.complete(e)
+	s.logJob("job finished", j, "state", j.Snapshot().State,
+		"duration_ms", float64(time.Since(began).Microseconds())/1e3)
 }
 
 // runWarmFigure answers a poolable figure job by forking the resident
@@ -283,6 +294,10 @@ type submitResponse struct {
 //	POST   /run              submit and wait: the result body in one round trip
 //	GET    /healthz          liveness
 //	GET    /stats            cache/queue/run counters
+//	GET    /metrics          Prometheus text exposition (jobs, queue, cache, warm pool)
+//
+// With Config.Logger set, every request is logged through it — keyed by job
+// ID once the request resolves to one.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -297,7 +312,8 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.withLogging(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -328,6 +344,7 @@ func (s *Server) submitFromRequest(w http.ResponseWriter, r *http.Request) (*Job
 		writeError(w, http.StatusBadRequest, err.Error())
 		return nil, false, false
 	}
+	noteJob(r, j.ID)
 	return j, coalesced, true
 }
 
@@ -363,6 +380,7 @@ func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id")))
 		return nil, false
 	}
+	noteJob(r, j.ID)
 	return j, true
 }
 
